@@ -1,0 +1,70 @@
+"""Figure 7: Granularity micro-benchmark on the Kingston DTI.
+
+Paper observations to reproduce:
+1. sequential writes are strongly affected by granularity — smaller
+   writes cost significantly *more* per IO than 32 KiB writes (the
+   commit-boundary read-modify-write);
+2. random writes are roughly constant (~260 ms) at any size and are
+   therefore omitted from the paper's figure.
+"""
+
+from repro.core import BenchContext, build_microbenchmark, run_experiment
+from repro.core.report import render_series
+from repro.paperdata import FIG7_DTI
+from repro.units import KIB, SEC
+
+from repro.analysis.svg import svg_series
+
+from conftest import ready_device, report, save_svg
+
+SIZES = (2 * KIB, 4 * KIB, 8 * KIB, 16 * KIB, 32 * KIB, 64 * KIB, 128 * KIB)
+
+
+def test_fig7_granularity_kingston_dti(once):
+    device = ready_device("kingston_dti")
+    ctx = BenchContext(capacity=device.capacity, io_count=96, seed=42)
+    bench = build_microbenchmark("granularity", ctx, sizes=SIZES)
+
+    def run_all():
+        series = {}
+        for label in ("SR", "RR", "SW", "RW"):
+            result = run_experiment(
+                device, bench.experiment(label), pause_usec=10 * SEC
+            )
+            values, means = result.series()
+            series[label] = ([v / KIB for v in values], means)
+        return series
+
+    series = once(run_all)
+    shown = {k: v for k, v in series.items() if k != "RW"}
+    text = render_series(
+        "response time (ms) vs IOSize (KiB) — RW omitted as in the paper",
+        "IOSize",
+        shown,
+    )
+    rw_means = series["RW"][1]
+    text += (
+        f"\n\nRW (omitted from the figure): "
+        + ", ".join(f"{m:.0f}" for m in rw_means)
+        + f" ms — paper: roughly constant around {FIG7_DTI['rw_constant_msec']:.0f} ms"
+    )
+    report("Figure 7: granularity, Kingston DTI (SR, RR, SW)", text)
+    save_svg(
+        "figure7_dti_granularity",
+        svg_series,
+        series=shown,
+        title="Figure 7: granularity, Kingston DTI (RW omitted)",
+        x_label="IOSize (KiB)",
+    )
+
+    sw = dict(zip(SIZES, series["SW"][1]))
+    # (1) small sequential writes cost far MORE per IO than 32 KiB ones
+    assert sw[4 * KIB] > 3 * sw[32 * KIB]
+    assert sw[16 * KIB] > 2 * sw[32 * KIB]
+    # reads do not show this pathology
+    sr = dict(zip(SIZES, series["SR"][1]))
+    assert sr[4 * KIB] < sr[32 * KIB]
+
+    # (2) random writes roughly constant at every size
+    assert max(rw_means) < 3 * min(rw_means)
+    assert min(rw_means) > 20  # hundreds-of-ms class

@@ -1,0 +1,83 @@
+"""GC-policy ablation on the page-mapped FTL: greedy vs cost-benefit.
+
+DESIGN.md calls out victim selection as a design choice worth ablating:
+greedy minimises copies *now*; the LFS cost-benefit policy pays a few
+copies to relocate old cold blocks, buying a flatter wear distribution
+— the lifetime lever of the wear extension.
+"""
+
+import random
+
+from repro.core.report import format_table
+from repro.flashsim import scaled_profile
+from repro.flashsim.ftl.pagemap import PageMapConfig
+from repro.flashsim.wear import wear_report
+from repro.iotypes import IORequest, Mode
+from repro.units import KIB, MIB
+
+from conftest import report
+
+CAPACITY = 16 * MIB
+
+
+def run_hot_cold(policy: str):
+    profile = scaled_profile(
+        "ideal_pagemap",
+        name=f"pagemap-{policy}",
+        pagemap=PageMapConfig(gc_low_blocks=4, gc_policy=policy),
+    )
+    device = profile.build(CAPACITY)
+    now = 0.0
+    index = 0
+    # cold fill
+    for lba in range(0, CAPACITY, 32 * KIB):
+        done = device.submit(IORequest(index, lba, 32 * KIB, Mode.WRITE), now)
+        now, index = done.completed_at, index + 1
+    # hot spot: hammer the first 10%
+    rng = random.Random(3)
+    hot_slots = CAPACITY // 10 // (32 * KIB)
+    responses = []
+    for __ in range(3 * CAPACITY // (32 * KIB)):
+        lba = rng.randrange(hot_slots) * 32 * KIB
+        done = device.submit(IORequest(index, lba, 32 * KIB, Mode.WRITE), now)
+        responses.append(done.response_usec)
+        now, index = done.completed_at, index + 1
+    device.check_invariants()
+    wear = wear_report(device)
+    mean_ms = sum(responses) / len(responses) / 1000.0
+    return mean_ms, wear
+
+
+def test_gc_policy_trade_off(once):
+    def run_both():
+        return {policy: run_hot_cold(policy) for policy in ("greedy", "cost-benefit")}
+
+    results = once(run_both)
+    rows = [
+        (
+            policy,
+            f"{mean_ms:.3f}",
+            f"{wear.gini:.3f}",
+            f"{wear.max_erases}",
+            f"{wear.std_erases:.1f}",
+        )
+        for policy, (mean_ms, wear) in results.items()
+    ]
+    text = format_table(
+        ("GC policy", "hot-spot mean rt (ms)", "wear gini", "max erases",
+         "erase stddev"),
+        rows,
+    )
+    text += (
+        "\ngreedy minimises copies now; cost-benefit relocates old cold"
+        "\nblocks — slightly dearer writes, flatter wear, longer life"
+    )
+    report("Ablation: GC victim policy (page-mapped FTL)", text)
+
+    greedy_ms, greedy_wear = results["greedy"]
+    cb_ms, cb_wear = results["cost-benefit"]
+    # the performance cost of cost-benefit stays small ...
+    assert cb_ms < greedy_ms * 1.5
+    # ... and the wear distribution is measurably flatter
+    assert cb_wear.std_erases < greedy_wear.std_erases
+    assert cb_wear.max_erases <= greedy_wear.max_erases

@@ -1,0 +1,41 @@
+"""The seven design hints of Section 5.3, evaluated programmatically.
+
+Each hint is checked against the class of device it targets: the
+high-end Mtron for the scheduling/locality hints, the low-end Kingston
+DTI for the alignment severity claim.
+"""
+
+from repro.analysis import evaluate_hints
+from repro.analysis.hints import check_hint3_alignment
+from repro.core.report import format_table
+from repro.units import MIB
+
+from conftest import ready_device, report
+
+
+def test_all_seven_hints_hold_on_a_high_end_ssd(once):
+    device = ready_device("mtron", capacity=48 * MIB)
+    results = once(evaluate_hints, device)
+    rows = [
+        (r.hint, r.statement, "HOLDS" if r.holds else "differs", r.evidence)
+        for r in results
+    ]
+    text = format_table(("#", "hint", "verdict", "evidence"), rows)
+    report("Section 5.3: the seven design hints (Mtron)", text)
+    held = [r.hint for r in results if r.holds]
+    assert len(held) == 7, f"hints holding: {held}"
+
+
+def test_alignment_hint_severe_on_low_end(once):
+    device = ready_device("kingston_dti", capacity=16 * MIB)
+    result = once(check_hint3_alignment, device)
+    report(
+        "Hint 3 on the Kingston DTI (severity)",
+        f"{result.statement}: {result.evidence}",
+    )
+    assert result.holds
+    # "the penalty paid for lack of alignment is quite severe"
+    aligned, shifted = (
+        float(part.split()[1]) for part in result.evidence.split(" vs ")
+    )
+    assert shifted > 5 * aligned

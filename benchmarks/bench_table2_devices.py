@@ -1,0 +1,46 @@
+"""Table 2: the eleven benchmarked flash devices.
+
+Regenerates the device inventory (brand, model, type, size, price) from
+the profile registry and benchmarks building + exercising one device of
+each FTL family.
+"""
+
+from repro.core.report import format_table
+from repro.flashsim import ALL_PROFILES, build_device
+from repro.units import KIB, MIB, fmt_size
+
+from conftest import report
+
+
+def test_table2_inventory(once):
+    rows = []
+    for profile in ALL_PROFILES:
+        if profile.brand == "(synthetic)":
+            continue
+        rows.append(
+            (
+                "->" if profile.highlighted else "",
+                profile.brand,
+                profile.model,
+                profile.kind,
+                fmt_size(profile.real_capacity),
+                f"${profile.price_usd}",
+                fmt_size(profile.sim_logical_bytes),
+                profile.ftl_kind,
+            )
+        )
+    text = format_table(
+        ("", "Brand", "Model", "Type", "Size", "Price", "Sim size", "FTL"),
+        rows,
+    )
+    report("Table 2: selected flash devices (paper capacities, scaled sims)", text)
+    assert len(rows) == 11
+    assert sum(1 for row in rows if row[0] == "->") == 7
+
+    def build_and_touch():
+        for name in ("memoright", "kingston_dti", "ideal_pagemap"):
+            device = build_device(name, logical_bytes=8 * MIB)
+            device.write(0, 32 * KIB)
+        return True
+
+    assert once(build_and_touch)

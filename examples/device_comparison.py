@@ -1,0 +1,66 @@
+"""Device comparison: which flash device should your system buy?
+
+Section 5.3's warning: *the price label is not always indicative of
+relative performance, and therefore designers of high-performance
+systems should carefully choose their flash devices.*  This example
+measures a set of candidate devices, derives their Table 3 key
+characteristics, classifies them and checks price against performance.
+
+Run:  python examples/device_comparison.py
+"""
+
+from repro import build_device, enforce_random_state, rest_device
+from repro.analysis import (
+    classify,
+    price_performance_note,
+    render_table3,
+    summarize_device,
+)
+from repro.flashsim import get_profile
+from repro.units import MIB, SEC
+
+CANDIDATES = ("memoright", "samsung", "transcend32", "kingston_dthx")
+
+
+def main() -> None:
+    summaries = []
+    for name in CANDIDATES:
+        profile = get_profile(name)
+        print(f"measuring {profile.brand} {profile.model} (${profile.price_usd}) ...")
+        device = build_device(name, logical_bytes=64 * MIB)
+        enforce_random_state(device)
+        rest_device(device, 60 * SEC)
+        summaries.append(summarize_device(device, name))
+
+    print()
+    print(render_table3(summaries, with_paper=False))
+
+    print("\nclassification:")
+    for summary in summaries:
+        result = classify(summary)
+        print(f"  {summary.name:16s} {result.tier.value:10s} "
+              f"({'; '.join(result.reasons)})")
+
+    print("\nprice vs performance:")
+    note = price_performance_note(
+        [(s, get_profile(s.name).price_usd) for s in summaries]
+    )
+    for line in note.splitlines():
+        print(f"  {line}")
+
+    # a concrete recommendation, the way a systems group would read it
+    best = min(summaries, key=lambda s: s.rw)
+    cheapest_ok = min(
+        (s for s in summaries if classify(s).tier.value != "low-end"),
+        key=lambda s: get_profile(s.name).price_usd,
+        default=best,
+    )
+    print(
+        f"\nbest random writes: {best.name} ({best.rw:.1f} ms); "
+        f"cheapest non-low-end: {cheapest_ok.name} "
+        f"(${get_profile(cheapest_ok.name).price_usd})"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,97 @@
+"""Flash-aware database layout: applying the seven design hints.
+
+A write-ahead log and a page store can be laid out naively (in-place
+counters, unaligned records, random page writes everywhere) or
+flash-aware (32 KiB aligned appends, random updates confined to a
+focused area — Hints 2, 3 and 4).  This example measures both designs
+on the same device and reports the speedup — the kind of algorithmic
+consequence the paper's Section 5.3 calls for.
+
+Run:  python examples/flash_aware_logging.py
+"""
+
+import random
+
+from repro import build_device, enforce_random_state, rest_device
+from repro.iotypes import IORequest, Mode
+from repro.units import KIB, MIB, SEC
+
+DEVICE = "samsung"
+OPERATIONS = 600
+
+
+def run_workload(device, flash_aware: bool, seed: int = 17) -> float:
+    """A toy transaction loop: append a log record, update a data page.
+
+    Naive layout: 4 KiB log records written in place at a fixed header
+    location (plus an unaligned record), data pages updated randomly
+    across the whole store.  Flash-aware layout: 32 KiB aligned log
+    appends, updates confined to a 4 MiB hot area (with the cold pages
+    rewritten sequentially in a batch, as a log-structured store would).
+    """
+    rng = random.Random(seed)
+    capacity = device.capacity
+    log_base = 0
+    log_size = 16 * MIB
+    store_base = log_size
+    store_size = (capacity - log_size) // (32 * KIB) * (32 * KIB)
+    now = device.busy_until
+    start = now
+    log_head = 0
+    for op in range(OPERATIONS):
+        if flash_aware:
+            # Hint 2+3: big aligned appends; wrap within the log area
+            log_lba = log_base + (log_head % log_size)
+            log_head += 32 * KIB
+            done = device.submit(
+                IORequest(op, log_lba, 32 * KIB, Mode.WRITE), now
+            )
+            now = done.completed_at
+            # Hint 4: random updates confined to a focused 4 MiB area
+            hot = store_base + rng.randrange(4 * MIB // (32 * KIB)) * 32 * KIB
+            done = device.submit(
+                IORequest(op, hot, 32 * KIB, Mode.WRITE), now
+            )
+        else:
+            # in-place header update (the Incr=0 pathology)
+            done = device.submit(
+                IORequest(op, log_base, 4 * KIB, Mode.WRITE), now
+            )
+            now = done.completed_at
+            # unaligned small log record
+            record = log_base + 64 * KIB + (op % 64) * 4 * KIB + 512
+            done = device.submit(
+                IORequest(op, record, 4 * KIB, Mode.WRITE), now
+            )
+            now = done.completed_at
+            # random page write over the whole store
+            page = store_base + rng.randrange(store_size // (32 * KIB)) * 32 * KIB
+            done = device.submit(
+                IORequest(op, page, 32 * KIB, Mode.WRITE), now
+            )
+        now = done.completed_at
+    return (now - start) / OPERATIONS / 1000.0  # ms per transaction
+
+
+def main() -> None:
+    print(f"preparing {DEVICE} ...")
+    device = build_device(DEVICE, logical_bytes=64 * MIB)
+    enforce_random_state(device)
+    rest_device(device, 60 * SEC)
+
+    naive = run_workload(device, flash_aware=False)
+    rest_device(device, 60 * SEC)
+    aware = run_workload(device, flash_aware=True)
+
+    print(f"\n{DEVICE}, {OPERATIONS} transactions:")
+    print(f"  naive layout:       {naive:8.2f} ms per transaction")
+    print(f"  flash-aware layout: {aware:8.2f} ms per transaction")
+    print(f"  speedup:            x{naive / aware:.1f}")
+    print(
+        "\napplied hints: 2 (32 KiB blocks), 3 (alignment), "
+        "4 (focused random writes); avoided the in-place pathology"
+    )
+
+
+if __name__ == "__main__":
+    main()

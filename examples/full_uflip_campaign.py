@@ -1,0 +1,118 @@
+"""A complete uFLIP benchmarking campaign, end to end.
+
+Follows the paper's methodology exactly (Sections 4 and 5.1):
+
+1. enforce the random initial state;
+2. measure start-up and running phases of the four baselines and derive
+   IOIgnore / IOCount;
+3. determine the inter-run pause with the SR/RW/SR probe;
+4. build a benchmark plan for several micro-benchmarks (sequential-write
+   experiments delayed and grouped, state resets only when the target
+   space is exhausted);
+5. execute the plan and export the results as CSV.
+
+Run:  python examples/full_uflip_campaign.py [profile] [output-dir]
+"""
+
+import sys
+from pathlib import Path
+
+from repro import (
+    BenchContext,
+    BenchmarkPlan,
+    baselines,
+    build_device,
+    build_microbenchmark,
+    determine_pause,
+    enforce_random_state,
+    measure_phases,
+    rest_device,
+    run_control_for,
+)
+from repro.core.report import experiment_to_csv, render_experiment
+from repro.units import KIB, MIB, SEC
+
+
+def main() -> None:
+    profile = sys.argv[1] if len(sys.argv) > 1 else "mtron"
+    out_dir = Path(sys.argv[2] if len(sys.argv) > 2 else "campaign_results")
+    device = build_device(profile, logical_bytes=64 * MIB)
+    print(f"campaign target: {device.describe()}")
+
+    print("\n[1/5] enforcing the random initial state ...")
+    state = enforce_random_state(device)
+    print(f"      {state.io_count} IOs, {state.elapsed_usec / SEC:.0f} s simulated")
+    rest_device(device, 60 * SEC)
+
+    print("[2/5] measuring start-up and running phases ...")
+    phase_specs = baselines(
+        io_size=32 * KIB,
+        io_count=640,
+        random_target_size=device.capacity,
+        sequential_target_size=device.capacity,
+    )
+    phases = measure_phases(device, phase_specs)
+    for label, analysis in phases.analyses.items():
+        print(f"      {label}: {analysis.summary()}")
+    io_ignore, io_count = run_control_for(
+        phases.startup_bound, phases.period_bound
+    )
+    io_ignore, io_count = min(io_ignore, 220), min(io_count, 440)
+    print(f"      -> IOIgnore={io_ignore}, IOCount={io_count}")
+    rest_device(device, 60 * SEC)
+
+    print("[3/5] determining the inter-run pause (SR/RW/SR probe) ...")
+    pause = determine_pause(device, reads_before=128, write_count=192,
+                            reads_after=2048)
+    print(f"      {pause.summary()}")
+    rest_device(device, pause.recommended_pause_usec)
+
+    print("[4/5] building the benchmark plan ...")
+    ctx = BenchContext(
+        capacity=device.capacity,
+        io_size=32 * KIB,
+        io_count=io_count,
+        io_ignore=io_ignore,
+    )
+    experiments = []
+    experiments.extend(
+        build_microbenchmark(
+            "granularity", ctx, sizes=(4 * KIB, 16 * KIB, 32 * KIB, 128 * KIB)
+        ).experiments
+    )
+    experiments.extend(
+        build_microbenchmark(
+            "locality", ctx,
+            multipliers_random=(32, 256, 1024),
+            multipliers_sequential=(32,),
+        ).experiments
+    )
+    experiments.extend(
+        build_microbenchmark("order", ctx, increments=(-1, 0, 1, 8)).experiments
+    )
+    plan = BenchmarkPlan.build(
+        experiments, capacity=device.capacity, align=device.geometry.block_size
+    )
+    print(
+        f"      {len(experiments)} experiments, {plan.reset_count} "
+        "planned state reset(s)"
+    )
+
+    print("[5/5] executing ...")
+    results = plan.execute(
+        device,
+        lambda dev: enforce_random_state(dev, seed=99),
+        pause_usec=pause.recommended_pause_usec,
+    )
+
+    out_dir.mkdir(exist_ok=True)
+    for name, result in results.items():
+        print()
+        print(render_experiment(result))
+        path = out_dir / (name.replace("/", "_") + ".csv")
+        path.write_text(experiment_to_csv(result))
+    print(f"\nCSV results written to {out_dir}/")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,38 @@
+"""``repro.analysis`` — result analysis: Table 3 derivation, device
+classification, design-hint verification and ASCII figure plotting."""
+
+from repro.analysis.classify import (
+    Classification,
+    DeviceTier,
+    classify,
+    price_performance_note,
+)
+from repro.analysis.fingerprint import Match, fingerprint, identify
+from repro.analysis.hints import ALL_HINTS, HintResult, evaluate_hints
+from repro.analysis.summarize import (
+    DeviceSummary,
+    render_table3,
+    summarize_device,
+)
+from repro.analysis.reportgen import campaign_report, write_campaign_report
+from repro.analysis.visualize import plot_series, plot_trace
+
+__all__ = [
+    "ALL_HINTS",
+    "Classification",
+    "DeviceSummary",
+    "DeviceTier",
+    "HintResult",
+    "Match",
+    "campaign_report",
+    "classify",
+    "evaluate_hints",
+    "fingerprint",
+    "identify",
+    "plot_series",
+    "plot_trace",
+    "price_performance_note",
+    "render_table3",
+    "summarize_device",
+    "write_campaign_report",
+]

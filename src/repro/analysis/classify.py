@@ -1,0 +1,101 @@
+"""Device classification from Table 3 indicators (Section 5.3).
+
+The paper's second major conclusion: *the performance difference between
+the high-end SSDs and the remainder of the devices is very significant
+— not only is their performance better with the basic IO patterns, but
+they also cope better with unusual patterns* — and price is not always
+indicative, so system designers must classify devices by measurement.
+
+The classifier condenses a :class:`~repro.analysis.summarize.DeviceSummary`
+into a tier using the same indicators the paper discusses.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.analysis.summarize import DeviceSummary
+
+
+class DeviceTier(enum.Enum):
+    """The paper's coarse device categories (Section 5.3)."""
+    HIGH_END = "high-end"
+    MID_RANGE = "mid-range"
+    LOW_END = "low-end"
+
+
+@dataclass(frozen=True)
+class Classification:
+    """A tier plus the indicator values that led to it."""
+
+    tier: DeviceTier
+    rw_penalty: float  # RW / SW cost ratio
+    copes_with_unusual: bool  # reverse & in-place near sequential cost
+    async_reclamation: bool  # Pause micro-benchmark had an effect
+    reasons: tuple[str, ...]
+
+
+def classify(summary: DeviceSummary) -> Classification:
+    """Classify a measured device.
+
+    Thresholds follow the paper's empirical split: high-end devices keep
+    random writes within ~20x of sequential writes *and* absorb the
+    reverse/in-place patterns; devices whose random writes cost two
+    orders of magnitude more than sequential are low-end regardless of
+    anything else.
+    """
+    reasons: list[str] = []
+    rw_penalty = summary.rw / summary.sw if summary.sw > 0 else float("inf")
+    copes = summary.reverse <= 3.0 and summary.in_place <= 3.0
+    has_async = summary.pause_rw is not None
+
+    if rw_penalty <= 20.0 and copes:
+        tier = DeviceTier.HIGH_END
+        reasons.append(f"random writes only x{rw_penalty:.0f} sequential")
+        reasons.append("absorbs reverse/in-place patterns")
+        if has_async:
+            reasons.append("asynchronous reclamation (pause helps)")
+    elif rw_penalty >= 50.0:
+        tier = DeviceTier.LOW_END
+        reasons.append(f"random writes x{rw_penalty:.0f} sequential")
+        if summary.in_place > 10.0:
+            reasons.append(f"pathological in-place writes (x{summary.in_place:.0f})")
+        if summary.locality_mb is None:
+            reasons.append("no locality benefit")
+    else:
+        tier = DeviceTier.MID_RANGE
+        reasons.append(f"random writes x{rw_penalty:.0f} sequential")
+        if not copes:
+            reasons.append("struggles with reverse/in-place patterns")
+
+    return Classification(
+        tier=tier,
+        rw_penalty=rw_penalty,
+        copes_with_unusual=copes,
+        async_reclamation=has_async,
+        reasons=tuple(reasons),
+    )
+
+
+def price_performance_note(
+    summaries_and_prices: list[tuple[DeviceSummary, int]],
+) -> str:
+    """The paper's caveat: price is not always indicative of performance.
+
+    Returns a short report flagging any device that costs more than
+    another while having worse random-write performance.
+    """
+    flagged = []
+    items = sorted(summaries_and_prices, key=lambda pair: pair[1], reverse=True)
+    for i, (summary, price) in enumerate(items):
+        for other, other_price in items[i + 1 :]:
+            if price > other_price and summary.rw > other.rw * 1.5:
+                flagged.append(
+                    f"{summary.name} (${price}) has worse random writes than "
+                    f"{other.name} (${other_price}): "
+                    f"{summary.rw:.1f} ms vs {other.rw:.1f} ms"
+                )
+    if not flagged:
+        return "price ordering matches random-write performance"
+    return "\n".join(flagged)

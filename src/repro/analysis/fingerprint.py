@@ -1,0 +1,135 @@
+"""Device fingerprinting: match a measured device to a known profile.
+
+Section 5.2: *"it can be argued that the results in the table describe
+the key characteristics of the devices, and could be used as the basis
+for a coarse classification or categorization."*  This module turns a
+measured :class:`~repro.analysis.summarize.DeviceSummary` into a
+normalised feature vector and matches it against the paper's Table 3 —
+the practical question being "which published device does this unknown
+black box behave like?"
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.analysis.summarize import DeviceSummary
+from repro.errors import AnalysisError
+from repro.paperdata import TABLE3, Table3Row
+
+#: features and their extraction from either a summary or a paper row.
+#: Costs are compared in log space (a 2x miss on 0.3 ms matters as much
+#: as one on 200 ms); derived indicators are compared directly.
+_LOG_FEATURES = ("sr", "rr", "sw", "rw")
+_FLAG_FEATURES = ("has_pause_effect", "has_locality")
+_RATIO_FEATURES = ("rw_over_sw", "in_place_over_sw", "reverse_over_sw")
+
+
+def _features(
+    sr: float,
+    rr: float,
+    sw: float,
+    rw: float,
+    pause: bool,
+    locality: bool,
+    reverse: float,
+    in_place: float,
+) -> dict[str, float]:
+    return {
+        "sr": math.log10(sr),
+        "rr": math.log10(rr),
+        "sw": math.log10(sw),
+        "rw": math.log10(rw),
+        "has_pause_effect": 1.0 if pause else 0.0,
+        "has_locality": 1.0 if locality else 0.0,
+        "rw_over_sw": math.log10(rw / sw),
+        "in_place_over_sw": math.log10(max(in_place, 0.1)),
+        "reverse_over_sw": math.log10(max(reverse, 0.1)),
+    }
+
+
+def summary_features(summary: DeviceSummary) -> dict[str, float]:
+    """Feature vector of a measured device."""
+    if min(summary.sr, summary.rr, summary.sw, summary.rw) <= 0:
+        raise AnalysisError("fingerprinting needs positive baseline costs")
+    return _features(
+        summary.sr,
+        summary.rr,
+        summary.sw,
+        summary.rw,
+        summary.pause_rw is not None,
+        summary.locality_mb is not None,
+        summary.reverse,
+        summary.in_place,
+    )
+
+
+def paper_features(row: Table3Row) -> dict[str, float]:
+    """Feature vector of a paper Table 3 row."""
+    return _features(
+        row.sr,
+        row.rr,
+        row.sw,
+        row.rw,
+        row.pause_rw is not None,
+        row.locality_mb is not None,
+        row.reverse,
+        row.in_place,
+    )
+
+
+#: per-feature weights: the derived behaviour flags discriminate device
+#: classes more strongly than another 10% on a read latency
+_WEIGHTS = {
+    "sr": 1.0,
+    "rr": 1.0,
+    "sw": 1.0,
+    "rw": 2.0,
+    "has_pause_effect": 1.5,
+    "has_locality": 1.0,
+    "rw_over_sw": 2.0,
+    "in_place_over_sw": 1.5,
+    "reverse_over_sw": 1.0,
+}
+
+
+def feature_distance(a: dict[str, float], b: dict[str, float]) -> float:
+    """Weighted Euclidean distance between two feature vectors."""
+    total = 0.0
+    for name, weight in _WEIGHTS.items():
+        delta = a[name] - b[name]
+        total += weight * delta * delta
+    return math.sqrt(total)
+
+
+@dataclass(frozen=True)
+class Match:
+    """One candidate match, best first in :func:`fingerprint`'s output."""
+
+    device: str
+    distance: float
+    paper: Table3Row
+
+
+def fingerprint(summary: DeviceSummary) -> list[Match]:
+    """Rank the paper's seven devices by behavioural similarity."""
+    measured = summary_features(summary)
+    matches = [
+        Match(device=name, distance=feature_distance(measured, paper_features(row)),
+              paper=row)
+        for name, row in TABLE3.items()
+    ]
+    matches.sort(key=lambda match: match.distance)
+    return matches
+
+
+def identify(summary: DeviceSummary, max_distance: float = 2.0) -> str | None:
+    """The best match's profile name, or None when nothing is close.
+
+    ``max_distance`` is the acceptance radius in weighted log-feature
+    space; ~2.0 admits same-class devices and rejects cross-class ones.
+    """
+    matches = fingerprint(summary)
+    best = matches[0]
+    return best.device if best.distance <= max_distance else None

@@ -1,0 +1,95 @@
+"""Markdown report generation for archived campaigns.
+
+The paper shipped a visualization web site (uflip.org, Section 6); the
+repository equivalent is a self-contained Markdown report: campaign
+metadata, one section per experiment with its result table and an ASCII
+plot, and an optional comparison section against a second campaign.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis.visualize import plot_series
+from repro.core.archive import Campaign, compare_campaigns, render_comparison
+from repro.core.experiment import ExperimentResult
+from repro.errors import AnalysisError
+
+
+def _experiment_section(name: str, result: ExperimentResult) -> str:
+    lines = [f"## {name}", ""]
+    lines.append(f"varying `{result.experiment.parameter}`")
+    lines.append("")
+    lines.append(f"| {result.experiment.parameter} | pattern | mean (ms) | max (ms) |")
+    lines.append("|---|---|---|---|")
+    for row in result.rows:
+        lines.append(
+            f"| {row.value} | {row.label} | {row.mean_msec:.3f} "
+            f"| {row.max_usec / 1000:.3f} |"
+        )
+    values, means = result.series()
+    numeric = all(isinstance(value, (int, float)) for value in values)
+    if numeric and len(values) >= 2:
+        lines.append("")
+        lines.append("```")
+        lines.append(
+            plot_series(
+                {result.experiment.parameter: (list(values), means)},
+                x_label=result.experiment.parameter,
+                width=60,
+                height=10,
+            )
+        )
+        lines.append("```")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def campaign_report(
+    campaign: Campaign, compare_to: Campaign | None = None
+) -> str:
+    """Render one campaign (optionally compared to another) as Markdown."""
+    if not campaign.results:
+        raise AnalysisError("cannot report an empty campaign")
+    lines = [
+        f"# uFLIP campaign: {campaign.label}",
+        "",
+        f"* device: `{campaign.device}`",
+    ]
+    for key, value in sorted(campaign.metadata.items()):
+        lines.append(f"* {key}: {value}")
+    lines.append(f"* experiments: {len(campaign.results)}")
+    lines.append("")
+    for name in campaign.experiment_names():
+        lines.append(_experiment_section(name, campaign.results[name]))
+    if compare_to is not None:
+        deltas = compare_campaigns(campaign, compare_to)
+        lines.append("## Comparison")
+        lines.append("")
+        lines.append("```")
+        lines.append(render_comparison(campaign, compare_to, deltas))
+        lines.append("```")
+        lines.append("")
+        regressions = [d for d in deltas if d.max_regression > 1.25]
+        if regressions:
+            lines.append(
+                "regressions (>1.25x slower in "
+                f"`{compare_to.label}`): "
+                + ", ".join(d.name for d in regressions)
+            )
+        else:
+            lines.append("no experiment regressed by more than 1.25x")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def write_campaign_report(
+    campaign: Campaign,
+    path: str | Path,
+    compare_to: Campaign | None = None,
+) -> Path:
+    """Render and write the report; returns the path written."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(campaign_report(campaign, compare_to))
+    return path

@@ -1,0 +1,383 @@
+"""Derive the paper's Table 3 — key device characteristics — by running
+the relevant micro-benchmarks and condensing their results.
+
+Table 3 columns and how each is measured (Section 5.2):
+
+* **SR/RR/SW/RW** — mean 32 KiB response times of the baselines, start-up
+  phase excluded;
+* **Pause RW** — RW with an inserted pause equal to its own mean cost;
+  reported only when it helps (asynchronous reclamation present);
+* **Locality** — largest TargetSize whose random writes stay within a
+  factor of sequential writes, and the factor inside that area;
+* **Partitioning** — the largest number of concurrent sequential-write
+  partitions without significant degradation, and their relative cost;
+* **Ordered** — reverse (Incr = −1) and in-place (Incr = 0) writes
+  relative to SW, and large-increment writes relative to RW.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.experiment import run_experiment
+from repro.core.microbench import BenchContext, locality
+from repro.core.patterns import PatternSpec, TimingKind, baselines
+from repro.core.phases import detect_phases
+from repro.core.plan import TargetAllocator
+from repro.core.report import format_table
+from repro.core.runner import execute, rest_device
+from repro.flashsim.device import FlashDevice
+from repro.paperdata import TABLE3, Table3Row
+from repro.units import KIB, MIB, SEC
+
+
+@dataclass
+class DeviceSummary:
+    """One device's measured Table 3 row (times in ms, area in MiB)."""
+
+    name: str
+    sr: float
+    rr: float
+    sw: float
+    rw: float
+    pause_rw: float | None
+    locality_mb: float | None
+    locality_factor: float | None
+    partitions: int
+    partitions_factor: float
+    reverse: float
+    in_place: float
+    large_incr: float
+    startup_rw: int = 0
+
+    def as_row(self) -> list:
+        """Format the summary as one printable Table 3 row."""
+        def fmt(value, places=1):
+            return "-" if value is None else f"{value:.{places}f}"
+
+        locality = (
+            "No"
+            if self.locality_mb is None
+            else f"{self.locality_mb:.0f} (x{self.locality_factor:.1f})"
+        )
+        return [
+            self.name,
+            fmt(self.sr),
+            fmt(self.rr),
+            fmt(self.sw),
+            fmt(self.rw, 0) if self.rw >= 10 else fmt(self.rw),
+            fmt(self.pause_rw),
+            locality,
+            f"{self.partitions} (x{self.partitions_factor:.1f})",
+            f"x{self.reverse:.1f}",
+            f"x{self.in_place:.1f}",
+            f"x{self.large_incr:.1f}",
+        ]
+
+
+def _steady_mean_msec(device: FlashDevice, spec: PatternSpec) -> tuple[float, int]:
+    """Mean response time (ms) after the detected start-up phase."""
+    run = execute(device, spec)
+    responses = np.array(run.trace.response_times())
+    phases = detect_phases(responses)
+    rest_device(device, 10 * SEC)
+    return float(responses[phases.startup :].mean() / 1000.0), phases.startup
+
+
+def summarize_device(
+    device: FlashDevice,
+    name: str,
+    io_count: int = 256,
+    io_size: int = 32 * KIB,
+    seed: int = 42,
+    locality_threshold: float = 3.5,
+    partition_threshold: float = 2.5,
+) -> DeviceSummary:
+    """Measure one (already state-enforced) device's Table 3 row.
+
+    ``io_count`` is the number of *steady-state* IOs each measurement
+    keeps; the RW start-up phase is measured first and excluded from
+    every random-write run (Section 4.2's methodology).
+    ``locality_threshold`` / ``partition_threshold`` define "near
+    sequential cost": the factor over SW below which an area / partition
+    count still counts as beneficial.
+    """
+    capacity = device.capacity
+    area = (capacity // io_size) * io_size
+
+    base = baselines(
+        io_size=io_size,
+        io_count=max(768, io_count),
+        random_target_size=area,
+        sequential_target_size=area,
+        seed=seed,
+    )
+    sr, __ = _steady_mean_msec(device, base["SR"])
+    rr, __ = _steady_mean_msec(device, base["RR"])
+    sw, __ = _steady_mean_msec(device, base["SW"])
+    rw, startup_rw = _steady_mean_msec(device, base["RW"])
+
+    # Every later write experiment ignores the start-up phase and runs
+    # long enough past it to converge.
+    io_ignore = startup_rw + 16
+    ctx = BenchContext(
+        capacity=capacity,
+        io_size=io_size,
+        io_count=io_ignore + io_count,
+        io_ignore=io_ignore,
+        seed=seed,
+    )
+    allocator = TargetAllocator(capacity, device.geometry.block_size)
+
+    pause_rw = _measure_pause_effect(device, base["RW"], io_ignore, sw, rw)
+    # "Beneficial" means well below the wide-random-write cost as well
+    # as within a small factor of sequential writes (the paper's Table 3
+    # reports areas with factors from "=" up to x20 for devices whose
+    # random writes are catastrophically slower).
+    locality_cutoff = max(locality_threshold * sw, rw / 3.0)
+    locality_mb, locality_factor = _measure_locality(device, ctx, sw, locality_cutoff)
+    partitions, partitions_factor = _measure_partitioning(
+        device, allocator, ctx, partition_threshold, rw
+    )
+    reverse, in_place, large_incr = _measure_order(device, ctx, allocator, sw, rw)
+
+    return DeviceSummary(
+        name=name,
+        sr=sr,
+        rr=rr,
+        sw=sw,
+        rw=rw,
+        pause_rw=pause_rw,
+        locality_mb=locality_mb,
+        locality_factor=locality_factor,
+        partitions=partitions,
+        partitions_factor=partitions_factor,
+        reverse=reverse,
+        in_place=in_place,
+        large_incr=large_incr,
+        startup_rw=startup_rw,
+    )
+
+
+def _measure_pause_effect(
+    device: FlashDevice,
+    rw_spec: PatternSpec,
+    io_ignore: int,
+    sw_msec: float,
+    rw_msec: float,
+) -> float | None:
+    """The Pause column: the smallest inter-IO pause that makes random
+    writes behave like sequential writes (None when pauses never help —
+    no asynchronous reclamation).
+
+    The paper observes that, when it exists, this pause is precisely the
+    average random-write cost itself: the reclamation still happens, it
+    just moves into the gaps.
+    """
+    spec = rw_spec.with_(io_count=io_ignore + 192, io_ignore=io_ignore)
+    for pause_msec in (rw_msec / 2.0, rw_msec, 2.0 * rw_msec, 4.0 * rw_msec):
+        run = execute(
+            device,
+            spec.with_(timing=TimingKind.PAUSE, pause_usec=pause_msec * 1000.0),
+        )
+        rest_device(device, 10 * SEC)
+        if run.stats.mean_usec / 1000.0 <= 2.5 * sw_msec:
+            return pause_msec
+    return None
+
+
+def _measure_locality(
+    device: FlashDevice,
+    ctx: BenchContext,
+    sw_msec: float,
+    cutoff_msec: float,
+) -> tuple[float | None, float | None]:
+    """Largest random-write area still under ``cutoff_msec``, and the
+    cost inside it relative to sequential writes."""
+    experiment = locality(ctx).experiment("RW")
+    result = run_experiment(device, experiment, pause_usec=5 * SEC)
+    best_area: float | None = None
+    best_factor: float | None = None
+    for row in result.rows:
+        area_bytes = row.value * ctx.io_size
+        if area_bytes >= MIB and row.mean_msec <= cutoff_msec:
+            area_mb = area_bytes / MIB
+            if best_area is None or area_mb > best_area:
+                factor = row.mean_msec / sw_msec if sw_msec > 0 else float("inf")
+                best_area, best_factor = area_mb, max(1.0, factor)
+    return best_area, best_factor
+
+
+def _measure_partitioning(
+    device: FlashDevice,
+    allocator: TargetAllocator,
+    ctx: BenchContext,
+    threshold: float,
+    rw_msec: float = float("inf"),
+) -> tuple[int, float]:
+    """Largest partition count within ``threshold`` x the 1-partition cost.
+
+    Each partition must span several erase blocks, otherwise the pattern
+    degenerates into a single short sequential run and every count looks
+    fine; the driver sizes io_count so every partition covers two blocks.
+    """
+    from repro.core.patterns import LocationKind
+    from repro.iotypes import Mode
+
+    block = device.geometry.block_size
+    span = 4 * block  # per-partition footprint; the pattern wraps
+    counts = [1, 2, 4, 8, 16, 32]
+    # long enough to outlast any background free-pool head-room, which
+    # would otherwise hide the degradation on high-end devices
+    io_count = ctx.io_count + ctx.io_ignore
+    means: dict[int, float] = {}
+    for partitions in counts:
+        target = partitions * span
+        if target > device.capacity:
+            break
+        spec = PatternSpec(
+            mode=Mode.WRITE,
+            location=LocationKind.PARTITIONED,
+            io_size=ctx.io_size,
+            io_count=io_count,
+            io_ignore=ctx.io_ignore,
+            target_size=target,
+            partitions=partitions,
+            seed=ctx.seed,
+        )
+        placed = _allocate_fn(allocator)(spec)
+        run = execute(device, placed)
+        rest_device(device, 5 * SEC)
+        means[partitions] = run.stats.mean_usec / 1000.0
+    single = means[1]
+    cutoff = max(threshold * single, rw_msec / 3.0)
+    best_count, best_factor = 1, 1.0
+    for partitions, mean in means.items():
+        if mean <= cutoff and partitions > best_count:
+            factor = mean / single if single > 0 else float("inf")
+            best_count, best_factor = partitions, max(1.0, factor)
+    return best_count, best_factor
+
+
+def _measure_order(
+    device: FlashDevice,
+    ctx: BenchContext,
+    allocator: TargetAllocator,
+    sw_msec: float,
+    rw_msec: float,
+) -> tuple[float, float, float]:
+    """Reverse / in-place (vs SW) and large-increment (vs RW) factors.
+
+    Each ordered run is preceded by a random-write warm-up (no rest in
+    between) so the measurement reflects the steady running phase rather
+    than a background-replenished free pool; the large-increment run is
+    sized so its strided footprint never wraps (a wrap would revisit
+    cached LBAs and underestimate the cost — a scaled-capacity artefact
+    the paper's 16-32 GB devices do not have).
+    """
+    from repro.core.patterns import LocationKind
+    from repro.iotypes import Mode
+
+    area = (device.capacity // ctx.io_size) * ctx.io_size
+    warm = PatternSpec(
+        mode=Mode.WRITE,
+        location=LocationKind.RANDOM,
+        io_size=ctx.io_size,
+        io_count=ctx.io_ignore + 16,
+        target_size=area,
+        seed=ctx.seed + 99,
+    )
+    large = 32  # a 1 MiB gap at 32 KiB IOs — the paper probes 1-8 MiB gaps
+    max_large_count = max(8, device.capacity // (large * ctx.io_size) - 1)
+
+    def measure(incr: int, io_count: int, warm_first: bool = False) -> float:
+        if warm_first:
+            execute(device, warm)
+        span = max(1, abs(incr)) * io_count * ctx.io_size
+        target = min(span, area)
+        spec = PatternSpec(
+            mode=Mode.WRITE,
+            location=LocationKind.ORDERED,
+            io_size=ctx.io_size,
+            io_count=io_count,
+            target_size=target,
+            incr=incr,
+            seed=ctx.seed,
+        )
+        placed = _allocate_fn(allocator)(spec)
+        run = execute(device, placed)
+        rest_device(device, 10 * SEC)
+        return run.stats.mean_usec / 1000.0
+
+    # Reverse and in-place follow the paper's protocol: pause-separated
+    # runs (the rest before each run lets asynchronous reclamation
+    # replenish, exactly as on the authors' testbed).  The strided run
+    # is warmed first because its no-wrap length is too short to drain
+    # the free pool by itself.
+    reverse = measure(-1, 192) / sw_msec
+    in_place = measure(0, 192) / sw_msec
+    large_incr = measure(large, min(192, max_large_count), warm_first=True) / rw_msec
+    return reverse, in_place, large_incr
+
+
+def _allocate_fn(allocator: TargetAllocator):
+    """Allocator callback that tolerates exhaustion by wrapping around
+    (the Table 3 driver re-uses space rather than re-enforcing; the
+    random state is only mildly disturbed and factors are relative)."""
+
+    def allocate(spec):
+        placed = allocator.place(spec)
+        if placed is None:
+            allocator.reset()
+            placed = allocator.place(spec)
+        return placed if placed is not None else spec
+
+    return allocate
+
+
+def render_table3(
+    summaries: list[DeviceSummary], with_paper: bool = True
+) -> str:
+    """Render measured summaries (and the paper's rows) as Table 3."""
+    headers = [
+        "Device",
+        "SR(ms)",
+        "RR(ms)",
+        "SW(ms)",
+        "RW(ms)",
+        "Pause RW",
+        "Locality MB",
+        "Partitions",
+        "Rev",
+        "InPlace",
+        "LargeIncr",
+    ]
+    rows = []
+    for summary in summaries:
+        rows.append(summary.as_row())
+        if with_paper and summary.name in TABLE3:
+            rows.append(_paper_row(TABLE3[summary.name]))
+    return format_table(headers, rows)
+
+
+def _paper_row(paper: Table3Row) -> list:
+    locality = (
+        "No"
+        if paper.locality_mb is None
+        else f"{paper.locality_mb:.0f} (x{paper.locality_factor:.1f})"
+    )
+    return [
+        f"  (paper: {paper.device})",
+        f"{paper.sr:.1f}",
+        f"{paper.rr:.1f}",
+        f"{paper.sw:.1f}",
+        f"{paper.rw:.0f}",
+        "-" if paper.pause_rw is None else f"{paper.pause_rw:.1f}",
+        locality,
+        f"{paper.partitions} (x{paper.partitions_factor:.1f})",
+        f"x{paper.reverse:.1f}",
+        f"x{paper.in_place:.1f}",
+        f"x{paper.large_incr:.1f}",
+    ]

@@ -1,0 +1,131 @@
+"""ASCII visualization of traces and series (the figures, in text).
+
+The paper ships an interactive visualization tool; the closest portable
+equivalent for a terminal harness is a compact ASCII plot.  Two forms:
+
+* :func:`plot_trace` — response time vs IO number, optionally log-scale
+  (Figures 3, 4 and 5);
+* :func:`plot_series` — one or more (x, y) series on shared axes
+  (Figures 6, 7 and 8).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.errors import AnalysisError
+
+_MARKS = "abcdefghij"
+
+
+def _scale(value: float, lo: float, hi: float, log: bool) -> float:
+    if log:
+        if value <= 0 or lo <= 0:
+            raise AnalysisError("log-scale plots require positive values")
+        return (math.log10(value) - math.log10(lo)) / (
+            math.log10(hi) - math.log10(lo) or 1.0
+        )
+    return (value - lo) / ((hi - lo) or 1.0)
+
+
+def plot_trace(
+    response_usec: Sequence[float],
+    title: str = "",
+    width: int = 78,
+    height: int = 16,
+    log_y: bool = True,
+    marker: str = "*",
+) -> str:
+    """Plot a response-time trace (ms on the y axis, IO number on x)."""
+    values = [v / 1000.0 for v in response_usec]
+    if not values:
+        raise AnalysisError("cannot plot an empty trace")
+    lo, hi = min(values), max(values)
+    if log_y and lo <= 0:
+        log_y = False
+    grid = [[" "] * width for __ in range(height)]
+    n = len(values)
+    for index, value in enumerate(values):
+        col = min(width - 1, index * width // n)
+        level = _scale(value, lo, hi, log_y) if hi > lo else 0.5
+        row = height - 1 - min(height - 1, int(level * (height - 1)))
+        grid[row][col] = marker
+    lines = []
+    if title:
+        lines.append(title)
+    top_label = f"{hi:.2f}ms"
+    bottom_label = f"{lo:.2f}ms"
+    label_width = max(len(top_label), len(bottom_label))
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = top_label.rjust(label_width)
+        elif row_index == height - 1:
+            label = bottom_label.rjust(label_width)
+        else:
+            label = " " * label_width
+        lines.append(f"{label} |{''.join(row)}")
+    axis = " " * label_width + " +" + "-" * width
+    lines.append(axis)
+    lines.append(
+        " " * label_width
+        + f"  0{'IO number'.center(width - 8)}{n - 1}"
+    )
+    return "\n".join(lines)
+
+
+def plot_series(
+    series: dict[str, tuple[Sequence[float], Sequence[float]]],
+    title: str = "",
+    width: int = 70,
+    height: int = 16,
+    log_x: bool = False,
+    log_y: bool = False,
+    x_label: str = "",
+    y_label: str = "ms",
+) -> str:
+    """Plot several named (x, y) series; each gets a letter marker."""
+    if not series:
+        raise AnalysisError("no series to plot")
+    all_x = [x for xs, __ in series.values() for x in xs]
+    all_y = [y for __, ys in series.values() for y in ys]
+    if not all_x:
+        raise AnalysisError("series contain no points")
+    x_lo, x_hi = min(all_x), max(all_x)
+    y_lo, y_hi = min(all_y), max(all_y)
+    if log_x and x_lo <= 0:
+        log_x = False
+    if log_y and y_lo <= 0:
+        log_y = False
+    grid = [[" "] * width for __ in range(height)]
+    legend = []
+    for series_index, (name, (xs, ys)) in enumerate(series.items()):
+        mark = _MARKS[series_index % len(_MARKS)]
+        legend.append(f"{mark}={name}")
+        for x, y in zip(xs, ys):
+            col = min(width - 1, int(_scale(x, x_lo, x_hi, log_x) * (width - 1)))
+            row = height - 1 - min(
+                height - 1, int(_scale(y, y_lo, y_hi, log_y) * (height - 1))
+            )
+            grid[row][col] = mark
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(legend))
+    top_label = f"{y_hi:.2f}{y_label}"
+    bottom_label = f"{y_lo:.2f}{y_label}"
+    label_width = max(len(top_label), len(bottom_label))
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = top_label.rjust(label_width)
+        elif row_index == height - 1:
+            label = bottom_label.rjust(label_width)
+        else:
+            label = " " * label_width
+        lines.append(f"{label} |{''.join(row)}")
+    lines.append(" " * label_width + " +" + "-" * width)
+    lines.append(
+        " " * label_width
+        + f"  {x_lo:g}{x_label.center(width - 12)}{x_hi:g}"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,273 @@
+"""Campaign archives: persist, reload and compare benchmark results.
+
+The paper's authors published their results — tens of millions of data
+points — at uflip.org for the community to compare against (Sections
+1.3 and 6).  This module is the corresponding repository feature: a
+campaign (one device's experiment results plus metadata) round-trips
+through a JSON archive on disk, an index aggregates the campaigns of a
+results directory, and two campaigns can be diffed experiment by
+experiment — the comparison a device vendor or system designer would
+run between two firmware revisions or two devices.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.core.experiment import Experiment, ExperimentResult, ExperimentRow
+from repro.core.stats import RunStats
+from repro.errors import AnalysisError
+
+ARCHIVE_VERSION = 1
+
+
+@dataclass
+class Campaign:
+    """One archived benchmarking campaign."""
+
+    device: str
+    label: str
+    results: dict[str, ExperimentResult] = field(default_factory=dict)
+    metadata: dict[str, str] = field(default_factory=dict)
+
+    def experiment_names(self) -> list[str]:
+        """Sorted names of the archived experiments."""
+        return sorted(self.results)
+
+    # ------------------------------------------------------------------
+    # serialisation
+    # ------------------------------------------------------------------
+
+    def to_payload(self) -> dict:
+        """The JSON-serialisable form of this campaign."""
+        return {
+            "version": ARCHIVE_VERSION,
+            "device": self.device,
+            "label": self.label,
+            "metadata": dict(self.metadata),
+            "experiments": {
+                name: _result_payload(result)
+                for name, result in self.results.items()
+            },
+        }
+
+    @staticmethod
+    def from_payload(payload: dict) -> "Campaign":
+        """Rebuild a campaign from :meth:`to_payload` output."""
+        version = payload.get("version")
+        if version != ARCHIVE_VERSION:
+            raise AnalysisError(
+                f"unsupported archive version {version!r} "
+                f"(this build reads version {ARCHIVE_VERSION})"
+            )
+        campaign = Campaign(
+            device=payload["device"],
+            label=payload["label"],
+            metadata=dict(payload.get("metadata", {})),
+        )
+        for name, result_payload in payload["experiments"].items():
+            campaign.results[name] = _result_from_payload(name, result_payload)
+        return campaign
+
+    def save(self, directory: str | Path) -> Path:
+        """Write the campaign under ``directory`` and refresh its index."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        path = directory / f"{self.label}.json"
+        path.write_text(json.dumps(self.to_payload(), indent=2))
+        _refresh_index(directory)
+        return path
+
+    @staticmethod
+    def load(path: str | Path) -> "Campaign":
+        """Load a campaign archived with :meth:`save`."""
+        return Campaign.from_payload(json.loads(Path(path).read_text()))
+
+
+def _result_payload(result: ExperimentResult) -> dict:
+    return {
+        "parameter": result.experiment.parameter,
+        "rows": [
+            {
+                "value": row.value,
+                "label": row.label,
+                "stats": [
+                    {
+                        "count": stats.count,
+                        "ignored": stats.ignored,
+                        "min_usec": stats.min_usec,
+                        "max_usec": stats.max_usec,
+                        "mean_usec": stats.mean_usec,
+                        "std_usec": stats.std_usec,
+                        "median_usec": stats.median_usec,
+                        "p95_usec": stats.p95_usec,
+                        "total_usec": stats.total_usec,
+                    }
+                    for stats in row.stats
+                ],
+            }
+            for row in result.rows
+        ],
+    }
+
+
+def _result_from_payload(name: str, payload: dict) -> ExperimentResult:
+    values = tuple(row["value"] for row in payload["rows"])
+    experiment = Experiment(
+        name=name,
+        parameter=payload["parameter"],
+        values=values,
+        build=_unloadable_build,
+    )
+    result = ExperimentResult(experiment=experiment)
+    for row_payload in payload["rows"]:
+        row = ExperimentRow(value=row_payload["value"], label=row_payload["label"])
+        for stats in row_payload["stats"]:
+            row.stats.append(RunStats(**stats))
+        result.rows.append(row)
+    return result
+
+
+def _unloadable_build(value):  # pragma: no cover - guard only
+    raise AnalysisError(
+        "archived experiments carry results, not runnable pattern builders"
+    )
+
+
+# ----------------------------------------------------------------------
+# directory index
+# ----------------------------------------------------------------------
+
+def _refresh_index(directory: Path) -> Path:
+    entries = []
+    for path in sorted(directory.glob("*.json")):
+        if path.name == "index.json":
+            continue
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            continue
+        if payload.get("version") != ARCHIVE_VERSION:
+            continue
+        entries.append(
+            {
+                "file": path.name,
+                "label": payload["label"],
+                "device": payload["device"],
+                "experiments": sorted(payload["experiments"]),
+            }
+        )
+    index_path = directory / "index.json"
+    index_path.write_text(json.dumps({"campaigns": entries}, indent=2))
+    return index_path
+
+
+def list_campaigns(directory: str | Path) -> list[dict]:
+    """Entries of a results directory's index (refreshing it first)."""
+    index = _refresh_index(Path(directory))
+    return json.loads(index.read_text())["campaigns"]
+
+
+def load_campaigns(directory: str | Path) -> list[Campaign]:
+    """Load every campaign archived under ``directory``."""
+    directory = Path(directory)
+    return [
+        Campaign.load(directory / entry["file"])
+        for entry in list_campaigns(directory)
+    ]
+
+
+# ----------------------------------------------------------------------
+# comparison
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class RowDelta:
+    """One parameter value's mean in two campaigns."""
+
+    value: object
+    mean_a_usec: float
+    mean_b_usec: float
+
+    @property
+    def ratio(self) -> float:
+        """``b / a`` mean-cost ratio (above 1: ``b`` is slower)."""
+        if self.mean_a_usec == 0:
+            return float("inf") if self.mean_b_usec else 1.0
+        return self.mean_b_usec / self.mean_a_usec
+
+
+@dataclass(frozen=True)
+class ExperimentDelta:
+    """One experiment compared across two campaigns."""
+
+    name: str
+    rows: tuple[RowDelta, ...]
+
+    @property
+    def max_regression(self) -> float:
+        """Worst (largest) b/a ratio across the experiment's values."""
+        return max((row.ratio for row in self.rows), default=1.0)
+
+    @property
+    def max_improvement(self) -> float:
+        """Best (smallest) b/a ratio across the experiment's values."""
+        return min((row.ratio for row in self.rows), default=1.0)
+
+
+def compare_campaigns(a: Campaign, b: Campaign) -> list[ExperimentDelta]:
+    """Diff two campaigns over their shared experiments and values.
+
+    Ratios are ``b / a`` — above 1 means ``b`` is slower.
+    """
+    deltas = []
+    for name in sorted(set(a.results) & set(b.results)):
+        rows_a = {row.value: row for row in a.results[name].rows}
+        rows_b = {row.value: row for row in b.results[name].rows}
+        shared = [value for value in rows_a if value in rows_b]
+        if not shared:
+            continue
+        deltas.append(
+            ExperimentDelta(
+                name=name,
+                rows=tuple(
+                    RowDelta(
+                        value=value,
+                        mean_a_usec=rows_a[value].mean_usec,
+                        mean_b_usec=rows_b[value].mean_usec,
+                    )
+                    for value in shared
+                ),
+            )
+        )
+    return deltas
+
+
+def render_comparison(
+    a: Campaign, b: Campaign, deltas: list[ExperimentDelta]
+) -> str:
+    """A human-readable comparison report."""
+    from repro.core.report import format_table
+
+    lines = [f"{a.label} ({a.device})  vs  {b.label} ({b.device})"]
+    rows = []
+    for delta in deltas:
+        for row in delta.rows:
+            rows.append(
+                (
+                    delta.name,
+                    row.value,
+                    f"{row.mean_a_usec / 1000:.3f}",
+                    f"{row.mean_b_usec / 1000:.3f}",
+                    f"x{row.ratio:.2f}",
+                )
+            )
+    lines.append(
+        format_table(
+            ("experiment", "value", f"{a.label} (ms)", f"{b.label} (ms)", "b/a"),
+            rows,
+        )
+    )
+    return "\n".join(lines)

@@ -1,0 +1,168 @@
+"""Experiments: collections of runs with a single varying parameter.
+
+Design principle 1 (Section 3.2): *to enable sound analysis, each
+experiment is designed around a single varying parameter.*  An
+:class:`Experiment` names that parameter, lists its values and knows how
+to build the pattern for each value.  Running it yields one
+:class:`ExperimentRow` per value, optionally averaged over repetitions
+(the paper ran everything three times and found differences within 5%;
+the simulator is deterministic per seed, so repetitions re-seed the
+random patterns).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Union
+
+from repro.core.patterns import MixSpec, ParallelSpec, PatternSpec
+from repro.core.runner import (
+    execute,
+    execute_mix,
+    execute_parallel,
+    rest_device,
+)
+from repro.core.stats import RunStats, relative_difference
+from repro.errors import ExperimentError
+from repro.flashsim.device import FlashDevice
+from repro.units import SEC
+
+SpecLike = Union[PatternSpec, MixSpec, ParallelSpec]
+SpecBuilder = Callable[[Any], SpecLike]
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One varying parameter over one reference pattern."""
+
+    name: str
+    parameter: str
+    values: tuple
+    build: SpecBuilder
+
+    def __post_init__(self) -> None:
+        if not self.values:
+            raise ExperimentError(f"experiment {self.name!r} has no parameter values")
+
+    def spec_for(self, value: Any) -> SpecLike:
+        """The pattern spec this experiment runs for ``value``."""
+        return self.build(value)
+
+
+@dataclass
+class ExperimentRow:
+    """Result for one parameter value: per-repetition stats + average."""
+
+    value: Any
+    label: str
+    stats: list[RunStats] = field(default_factory=list)
+    extra: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def mean_usec(self) -> float:
+        """Mean response time averaged over the repetitions (us)."""
+        return sum(s.mean_usec for s in self.stats) / len(self.stats)
+
+    @property
+    def mean_msec(self) -> float:
+        """Mean response time in milliseconds (the figures' unit)."""
+        return self.mean_usec / 1000.0
+
+    @property
+    def max_usec(self) -> float:
+        """Worst response time seen across the repetitions (us)."""
+        return max(s.max_usec for s in self.stats)
+
+    def repeatable_within(self, tolerance: float = 0.05) -> bool:
+        """Whether repetitions agree within ``tolerance`` (paper: 5%)."""
+        means = [s.mean_usec for s in self.stats]
+        return all(
+            relative_difference(means[0], other) <= tolerance for other in means[1:]
+        )
+
+
+@dataclass
+class ExperimentResult:
+    """All rows of one executed experiment."""
+
+    experiment: Experiment
+    rows: list[ExperimentRow] = field(default_factory=list)
+
+    def series(self) -> tuple[list, list[float]]:
+        """(values, mean response times in ms) — a figure's data series."""
+        return (
+            [row.value for row in self.rows],
+            [row.mean_msec for row in self.rows],
+        )
+
+    def row_for(self, value: Any) -> ExperimentRow:
+        """The result row for one parameter value."""
+        for row in self.rows:
+            if row.value == value:
+                return row
+        raise ExperimentError(
+            f"experiment {self.experiment.name!r} has no row for value {value!r}"
+        )
+
+
+def _reseed(spec: SpecLike, bump: int) -> SpecLike:
+    """A copy of the spec with shifted random seeds for a repetition."""
+    if bump == 0:
+        return spec
+    if isinstance(spec, PatternSpec):
+        return spec.with_(seed=spec.seed + bump)
+    if isinstance(spec, MixSpec):
+        return MixSpec(
+            primary=spec.primary.with_(seed=spec.primary.seed + bump),
+            secondary=spec.secondary.with_(seed=spec.secondary.seed + bump),
+            ratio=spec.ratio,
+            io_count=spec.io_count,
+            io_ignore=spec.io_ignore,
+        )
+    return ParallelSpec(
+        base=spec.base.with_(seed=spec.base.seed + bump),
+        parallel_degree=spec.parallel_degree,
+    )
+
+
+def execute_spec(device: FlashDevice, spec: SpecLike):
+    """Dispatch a spec to the right runner; returns the run object."""
+    if isinstance(spec, PatternSpec):
+        return execute(device, spec)
+    if isinstance(spec, MixSpec):
+        return execute_mix(device, spec)
+    if isinstance(spec, ParallelSpec):
+        return execute_parallel(device, spec)
+    raise ExperimentError(f"cannot execute spec of type {type(spec).__name__}")
+
+
+def run_experiment(
+    device: FlashDevice,
+    experiment: Experiment,
+    pause_usec: float = 1.0 * SEC,
+    repetitions: int = 1,
+    allocate: Callable[[SpecLike], SpecLike] | None = None,
+) -> ExperimentResult:
+    """Run every value of an experiment against a live device.
+
+    ``pause_usec`` is the methodology's inter-run pause (Section 4.3) so
+    one run's deferred reclamation cannot pollute the next run's
+    measurements.  ``allocate`` optionally rewrites target offsets (a
+    :class:`~repro.core.plan.TargetAllocator` bound method) so
+    sequential-write runs land on fresh space.
+    """
+    if repetitions < 1:
+        raise ExperimentError("repetitions must be >= 1")
+    result = ExperimentResult(experiment=experiment)
+    for value in experiment.values:
+        base_spec = experiment.spec_for(value)
+        row = ExperimentRow(value=value, label=getattr(base_spec, "label", ""))
+        for repetition in range(repetitions):
+            spec = _reseed(base_spec, repetition)
+            if allocate is not None:
+                spec = allocate(spec)
+            run = execute_spec(device, spec)
+            row.stats.append(run.stats)
+            rest_device(device, pause_usec)
+        result.rows.append(row)
+    return result

@@ -1,0 +1,101 @@
+"""Pattern generators: specs -> feedback-driven IO request streams.
+
+The submit time of IO ``i`` depends on the *response time* of IO
+``i-1`` (Table 1: ``t(IOi) = t(IOi-1) + rt(IOi-1) [+ pauses]``), so a
+pattern cannot be fully materialised up front — the generator consumes
+each completion to schedule the next request.  The generators implement
+the :data:`~repro.flashsim.host.RequestFeed` protocol used by the host
+models.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.patterns import LocationKind, MixSpec, PatternSpec
+from repro.iotypes import CompletedIO, IORequest
+
+
+class PatternGenerator:
+    """Generates the requests of one basic pattern.
+
+    Instances are single-use: one generator drives one run.
+    """
+
+    def __init__(self, spec: PatternSpec, start_at: float = 0.0) -> None:
+        self.spec = spec
+        self.start_at = start_at
+        self._index = 0
+        self._rng = random.Random(spec.seed)
+
+    def __call__(self, previous: CompletedIO | None) -> IORequest | None:
+        spec = self.spec
+        if self._index >= spec.io_count:
+            return None
+        index = self._index
+        self._index += 1
+        if previous is None:
+            scheduled = self.start_at
+        else:
+            scheduled = previous.completed_at + spec.inter_io_gap(index)
+        draw = None
+        if spec.location is LocationKind.RANDOM:
+            draw = self._rng.randrange(spec.slots)
+        return IORequest(
+            index=index,
+            lba=spec.lba(index, draw),
+            size=spec.io_size,
+            mode=spec.mode,
+            scheduled_at=scheduled,
+        )
+
+    @property
+    def issued(self) -> int:
+        """Requests produced so far."""
+        return self._index
+
+
+class MixGenerator:
+    """Interleaves two basic patterns with a Ratio (Mix micro-benchmark).
+
+    Component generators keep independent indexes into their own
+    patterns; the mix-level index decides whose turn it is.  The mix's
+    timing is consecutive (component pauses would make the Ratio
+    parameter no longer the single varying factor).
+    """
+
+    def __init__(self, spec: MixSpec, start_at: float = 0.0) -> None:
+        self.spec = spec
+        self.start_at = start_at
+        self._index = 0
+        self._component_index = [0, 0]
+        self._rngs = [
+            random.Random(spec.primary.seed),
+            random.Random(spec.secondary.seed),
+        ]
+        self._components = (spec.primary, spec.secondary)
+        #: which component produced each issued IO, in order (the runner
+        #: splits statistics per component with this)
+        self.component_log: list[int] = []
+
+    def __call__(self, previous: CompletedIO | None) -> IORequest | None:
+        if self._index >= self.spec.io_count:
+            return None
+        which = self.spec.component_for(self._index)
+        component = self._components[which]
+        inner_index = self._component_index[which] % component.io_count
+        self._component_index[which] += 1
+        draw = None
+        if component.location is LocationKind.RANDOM:
+            draw = self._rngs[which].randrange(component.slots)
+        scheduled = self.start_at if previous is None else previous.completed_at
+        request = IORequest(
+            index=self._index,
+            lba=component.lba(inner_index, draw),
+            size=component.io_size,
+            mode=component.mode,
+            scheduled_at=scheduled,
+        )
+        self.component_log.append(which)
+        self._index += 1
+        return request

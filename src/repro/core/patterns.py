@@ -1,0 +1,366 @@
+"""IO pattern specifications (Section 3.1, Table 1).
+
+An IO pattern is a sequence of IOs defined by four attribute functions:
+
+* ``t(IOi)`` — submission time: *consecutive*, *pause(Pause)* or
+  *burst(Pause, Burst)*;
+* ``IOSize(IOi)`` — the identity over the IOSize parameter;
+* ``LBA(IOi)`` — *sequential*, *random*, *ordered(Incr)* or
+  *partitioned(Partitions)*, aligned to IOSize boundaries relative to
+  TargetOffset, optionally shifted by IOShift;
+* ``Mode(IOi)`` — the constant read or write.
+
+:class:`PatternSpec` captures one basic pattern with all Table 1
+parameters plus the run-control parameters ``io_count`` (pattern
+length) and ``io_ignore`` (warm-up IOs excluded from statistics).
+:class:`MixSpec` composes two basic patterns with a Ratio;
+:class:`ParallelSpec` replicates one baseline over ParallelDegree
+processes, splitting the target space (Table 1's Parallelism row).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+
+from repro.errors import PatternError
+from repro.iotypes import Mode
+from repro.units import KIB
+
+
+class LocationKind(enum.Enum):
+    """The LBA attribute function (Section 3.1)."""
+
+    SEQUENTIAL = "sequential"
+    RANDOM = "random"
+    ORDERED = "ordered"
+    PARTITIONED = "partitioned"
+
+
+class TimingKind(enum.Enum):
+    """The t(IOi) attribute function (Section 3.1)."""
+
+    CONSECUTIVE = "consecutive"
+    PAUSE = "pause"
+    BURST = "burst"
+
+
+@dataclass(frozen=True)
+class PatternSpec:
+    """One basic IO pattern with the Table 1 parameters.
+
+    Sizes and offsets are bytes; times are simulated microseconds.
+    ``target_size`` bounds the LBA space of the pattern: sequential and
+    ordered locations wrap modulo ``target_size`` (the Locality
+    micro-benchmark's definition, which the baselines satisfy trivially
+    by choosing ``target_size = io_count * io_size``).
+    """
+
+    mode: Mode
+    location: LocationKind
+    io_size: int = 32 * KIB
+    io_count: int = 256
+    io_ignore: int = 0
+    target_offset: int = 0
+    target_size: int = 0  # 0 -> io_count * io_size (sequential baseline)
+    io_shift: int = 0
+    incr: int = 1
+    partitions: int = 1
+    timing: TimingKind = TimingKind.CONSECUTIVE
+    pause_usec: float = 0.0
+    burst: int = 0
+    seed: int = 42
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.io_size <= 0:
+            raise PatternError("io_size must be positive")
+        if self.io_count <= 0:
+            raise PatternError("io_count must be positive")
+        if not 0 <= self.io_ignore <= self.io_count:
+            raise PatternError("io_ignore must be within [0, io_count]")
+        if self.target_offset < 0 or self.io_shift < 0:
+            raise PatternError("target_offset and io_shift must be non-negative")
+        if self.target_size == 0:
+            object.__setattr__(self, "target_size", self.io_count * self.io_size)
+        if self.target_size < self.io_size:
+            raise PatternError("target_size must hold at least one IO")
+        if self.target_size % self.io_size != 0:
+            raise PatternError("target_size must be a multiple of io_size")
+        if self.partitions < 1:
+            raise PatternError("partitions must be >= 1")
+        if self.location is LocationKind.PARTITIONED:
+            if self.target_size % self.partitions != 0:
+                raise PatternError("target_size must divide evenly into partitions")
+            if (self.target_size // self.partitions) % self.io_size != 0:
+                raise PatternError("partition size must be a multiple of io_size")
+        if self.timing is TimingKind.PAUSE and self.pause_usec <= 0:
+            raise PatternError("pause timing requires a positive pause_usec")
+        if self.timing is TimingKind.BURST:
+            if self.pause_usec <= 0 or self.burst < 1:
+                raise PatternError("burst timing requires pause_usec > 0 and burst >= 1")
+        if not self.label:
+            object.__setattr__(self, "label", self._default_label())
+
+    def _default_label(self) -> str:
+        prefix = {
+            LocationKind.SEQUENTIAL: "S",
+            LocationKind.RANDOM: "R",
+            LocationKind.ORDERED: "O",
+            LocationKind.PARTITIONED: "P",
+        }[self.location]
+        suffix = "R" if self.mode is Mode.READ else "W"
+        return prefix + suffix
+
+    # ------------------------------------------------------------------
+    # derived quantities
+    # ------------------------------------------------------------------
+
+    @property
+    def slots(self) -> int:
+        """Number of IOSize-aligned slots in the target space."""
+        return self.target_size // self.io_size
+
+    @property
+    def footprint(self) -> tuple[int, int]:
+        """Byte extent ``[start, end)`` the pattern may touch."""
+        start = self.target_offset + self.io_shift
+        return start, start + self.target_size
+
+    def fits(self, capacity: int) -> bool:
+        """Whether the pattern stays within a device of ``capacity``."""
+        __, end = self.footprint
+        return end <= capacity
+
+    # ------------------------------------------------------------------
+    # the LBA attribute function (Table 1 formulas)
+    # ------------------------------------------------------------------
+
+    def lba(self, index: int, slot_random: int | None = None) -> int:
+        """LBA of the ``index``-th IO.
+
+        ``slot_random`` supplies the draw of ``random(TargetSize/IOSize)``
+        for random locations (the generator owns the RNG so that runs
+        are reproducible and the formula stays pure).
+        """
+        base = self.target_offset + self.io_shift
+        if self.location is LocationKind.RANDOM:
+            if slot_random is None:
+                raise PatternError("random location requires a slot draw")
+            if not 0 <= slot_random < self.slots:
+                raise PatternError(f"slot draw {slot_random} out of range")
+            return base + slot_random * self.io_size
+        if self.location is LocationKind.SEQUENTIAL:
+            return base + (index * self.io_size) % self.target_size
+        if self.location is LocationKind.ORDERED:
+            return base + (self.incr * index * self.io_size) % self.target_size
+        # PARTITIONED (Table 1): PS = TargetSize/Partitions,
+        # Pi = i mod Partitions, Oi = floor(i/Partitions)*IOSize mod PS
+        partition_size = self.target_size // self.partitions
+        which = index % self.partitions
+        offset = ((index // self.partitions) * self.io_size) % partition_size
+        return base + which * partition_size + offset
+
+    # ------------------------------------------------------------------
+    # the t(IOi) attribute function
+    # ------------------------------------------------------------------
+
+    def inter_io_gap(self, index: int) -> float:
+        """Pause inserted before the ``index``-th IO (after the previous
+        one completes).
+
+        ``consecutive``: none.  ``pause``: Pause before every IO.
+        ``burst(Pause, Burst)``: Pause before each group of Burst IOs.
+        (Table 1 prints the burst formula as ``(i mod Burst) x Pause``;
+        the text — "a pause of length Pause is introduced between groups
+        of Burst IOs" — is what we implement.)
+        """
+        if index == 0:
+            return 0.0
+        if self.timing is TimingKind.CONSECUTIVE:
+            return 0.0
+        if self.timing is TimingKind.PAUSE:
+            return self.pause_usec
+        return self.pause_usec if index % self.burst == 0 else 0.0
+
+    # ------------------------------------------------------------------
+    # convenience
+    # ------------------------------------------------------------------
+
+    def with_(self, **overrides) -> "PatternSpec":
+        """A copy with fields replaced (keeps the frozen spec ergonomic)."""
+        if "label" not in overrides:
+            overrides["label"] = ""
+        return replace(self, **overrides)
+
+
+@dataclass(frozen=True)
+class MixSpec:
+    """Two basic patterns composed with a Ratio (Table 1's Mix row).
+
+    ``ratio`` IOs of ``primary`` are issued for every one IO of
+    ``secondary``, repeating until ``io_count`` total IOs ran.
+    """
+
+    primary: PatternSpec
+    secondary: PatternSpec
+    ratio: int = 1
+    io_count: int = 0  # 0 -> primary.io_count + secondary.io_count
+    io_ignore: int = 0
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.ratio < 1:
+            raise PatternError("mix ratio must be >= 1")
+        if self.io_count == 0:
+            object.__setattr__(
+                self, "io_count", self.primary.io_count + self.secondary.io_count
+            )
+        if self.io_count <= 0:
+            raise PatternError("io_count must be positive")
+        overlap_start = max(self.primary.footprint[0], self.secondary.footprint[0])
+        overlap_end = min(self.primary.footprint[1], self.secondary.footprint[1])
+        if overlap_start < overlap_end:
+            raise PatternError(
+                "mixed patterns must use disjoint target spaces "
+                f"(overlap [{overlap_start}, {overlap_end}))"
+            )
+        if not self.label:
+            object.__setattr__(
+                self,
+                "label",
+                f"{self.ratio} {self.primary.label} / 1 {self.secondary.label}",
+            )
+
+    def component_for(self, index: int) -> int:
+        """Which component (0=primary, 1=secondary) issues IO ``index``.
+
+        IOs cycle in groups of ``ratio + 1``: ``ratio`` primaries then
+        one secondary.
+        """
+        return 1 if index % (self.ratio + 1) == self.ratio else 0
+
+
+@dataclass(frozen=True)
+class ParallelSpec:
+    """One baseline replicated over ParallelDegree processes.
+
+    Table 1: process ``p`` gets ``TargetOffset_p = p * TargetSize /
+    ParallelDegree`` and ``TargetSize_p = TargetSize / ParallelDegree``.
+    """
+
+    base: PatternSpec
+    parallel_degree: int = 1
+
+    def __post_init__(self) -> None:
+        if self.parallel_degree < 1:
+            raise PatternError("parallel_degree must be >= 1")
+        if self.base.target_size % self.parallel_degree != 0:
+            raise PatternError("target_size must divide by parallel_degree")
+        share = self.base.target_size // self.parallel_degree
+        if share < self.base.io_size or share % self.base.io_size != 0:
+            raise PatternError(
+                "per-process target share must be a non-zero multiple of io_size"
+            )
+
+    def process_specs(self) -> list[PatternSpec]:
+        """The per-process pattern specs."""
+        share = self.base.target_size // self.parallel_degree
+        count = max(1, self.base.io_count // self.parallel_degree)
+        # the warm-up scales down with the per-process share of the work
+        ignore = min(self.base.io_ignore // self.parallel_degree, count - 1)
+        specs = []
+        for process in range(self.parallel_degree):
+            specs.append(
+                self.base.with_(
+                    target_offset=self.base.target_offset + process * share,
+                    target_size=share,
+                    io_count=count,
+                    io_ignore=ignore,
+                    seed=self.base.seed + process,
+                    label=f"{self.base.label}[p{process}]",
+                )
+            )
+        return specs
+
+    @property
+    def label(self) -> str:
+        """Human-readable label, e.g. ``SW x4``."""
+        return f"{self.base.label} x{self.parallel_degree}"
+
+
+@dataclass(frozen=True)
+class ParallelMixSpec:
+    """Different basic patterns run in parallel (Section 3.1's second
+    form of parallel pattern: "by mixing, in parallel, different basic
+    patterns").
+
+    Unlike :class:`ParallelSpec`, each process runs its *own* spec; the
+    specs must occupy disjoint target spaces (like a mix's components).
+    """
+
+    components: tuple[PatternSpec, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.components) < 2:
+            raise PatternError("a parallel mix needs at least two components")
+        spans = sorted(component.footprint for component in self.components)
+        for (__, end_a), (start_b, __) in zip(spans, spans[1:]):
+            if start_b < end_a:
+                raise PatternError(
+                    "parallel-mix components must use disjoint target spaces"
+                )
+
+    @property
+    def label(self) -> str:
+        """Human-readable label, e.g. ``SR || SW``."""
+        return " || ".join(component.label for component in self.components)
+
+    @property
+    def parallel_degree(self) -> int:
+        """Number of concurrent processes (one per component)."""
+        return len(self.components)
+
+
+#: The four baseline patterns of Section 3.1 for a given size/count.
+def baselines(
+    io_size: int = 32 * KIB,
+    io_count: int = 256,
+    target_offset: int = 0,
+    random_target_size: int = 0,
+    sequential_target_size: int = 0,
+    seed: int = 42,
+) -> dict[str, PatternSpec]:
+    """Build SR, RR, SW, RW baseline specs.
+
+    ``random_target_size`` (0 = ``io_count * io_size``) sets the area the
+    random patterns draw from; the paper draws over a large area relative
+    to the sequential footprint.  ``sequential_target_size`` (same
+    default) bounds the sequential patterns, which wrap modulo the target
+    when ``io_count`` exceeds it (needed on small devices).
+    """
+    rnd_size = random_target_size or io_count * io_size
+    seq_size = min(
+        sequential_target_size or io_count * io_size, io_count * io_size
+    )
+    common = dict(io_size=io_size, io_count=io_count, target_offset=target_offset, seed=seed)
+    return {
+        "SR": PatternSpec(
+            mode=Mode.READ,
+            location=LocationKind.SEQUENTIAL,
+            target_size=seq_size,
+            **common,
+        ),
+        "RR": PatternSpec(
+            mode=Mode.READ, location=LocationKind.RANDOM, target_size=rnd_size, **common
+        ),
+        "SW": PatternSpec(
+            mode=Mode.WRITE,
+            location=LocationKind.SEQUENTIAL,
+            target_size=seq_size,
+            **common,
+        ),
+        "RW": PatternSpec(
+            mode=Mode.WRITE, location=LocationKind.RANDOM, target_size=rnd_size, **common
+        ),
+    }

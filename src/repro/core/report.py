@@ -1,0 +1,114 @@
+"""Result rendering and export.
+
+The paper's results are large (per-IO response times); these helpers
+turn runs and experiments into readable tables and portable CSV/JSON so
+the benchmark harness can print the same rows/series the paper reports.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Sequence
+
+from repro.core.experiment import ExperimentResult
+from repro.units import usec_to_msec
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
+    """Render an aligned plain-text table."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(row[col]) for row in cells) for col in range(len(headers))]
+    lines = []
+    for row_index, row in enumerate(cells):
+        line = "  ".join(cell.ljust(width) for cell, width in zip(row, widths))
+        lines.append(line.rstrip())
+        if row_index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+def render_experiment(result: ExperimentResult, value_unit: str = "") -> str:
+    """One experiment as a table: parameter value vs mean/max response."""
+    experiment = result.experiment
+    header_value = experiment.parameter + (f" ({value_unit})" if value_unit else "")
+    rows = []
+    for row in result.rows:
+        rows.append(
+            (
+                row.value,
+                row.label,
+                f"{row.mean_msec:.3f}",
+                f"{usec_to_msec(row.max_usec):.3f}",
+            )
+        )
+    title = f"{experiment.name}  [varying {experiment.parameter}]"
+    table = format_table((header_value, "pattern", "mean (ms)", "max (ms)"), rows)
+    return f"{title}\n{table}"
+
+
+def render_series(
+    title: str,
+    x_label: str,
+    series: dict[str, tuple[Sequence[Any], Sequence[float]]],
+) -> str:
+    """Several (x, y) series as one aligned table — the textual
+    equivalent of one of the paper's figures.
+
+    ``series`` maps a series name (e.g. "SR") to (x values, y values in
+    ms).  All series must share the same x values.
+    """
+    if not series:
+        return title
+    first_x = None
+    for __, (xs, __ys) in series.items():
+        first_x = list(xs)
+        break
+    assert first_x is not None
+    headers = [x_label] + list(series)
+    rows = []
+    for index, x in enumerate(first_x):
+        row: list[Any] = [x]
+        for name in series:
+            ys = series[name][1]
+            row.append(f"{ys[index]:.3f}" if index < len(ys) else "")
+        rows.append(row)
+    return f"{title}\n{format_table(headers, rows)}"
+
+
+def experiment_to_csv(result: ExperimentResult) -> str:
+    """CSV export: value, label, per-repetition means, averaged mean."""
+    lines = ["value,label,mean_usec,max_usec,repetitions"]
+    for row in result.rows:
+        lines.append(
+            f"{row.value},{row.label},{row.mean_usec:.3f},"
+            f"{row.max_usec:.3f},{len(row.stats)}"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def experiment_to_json(result: ExperimentResult) -> str:
+    """JSON export with full per-repetition statistics."""
+    payload = {
+        "experiment": result.experiment.name,
+        "parameter": result.experiment.parameter,
+        "rows": [
+            {
+                "value": row.value,
+                "label": row.label,
+                "mean_usec": row.mean_usec,
+                "repetitions": [
+                    {
+                        "count": stats.count,
+                        "ignored": stats.ignored,
+                        "min_usec": stats.min_usec,
+                        "max_usec": stats.max_usec,
+                        "mean_usec": stats.mean_usec,
+                        "std_usec": stats.std_usec,
+                    }
+                    for stats in row.stats
+                ],
+            }
+            for row in result.rows
+        ],
+    }
+    return json.dumps(payload, indent=2)

@@ -1,0 +1,115 @@
+"""Run statistics (design principle 1, Section 3.2).
+
+For each run the paper records the response time of every IO and
+summarises it with min / max / mean / standard deviation, **excluding
+the start-up phase** (the first ``IOIgnore`` IOs, Section 4.2).  The
+running-average overlays of Figure 3 (including vs excluding the
+start-up measurements) are provided for the phase-analysis figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import AnalysisError
+
+
+@dataclass(frozen=True)
+class RunStats:
+    """Summary statistics of one run's response times (microseconds)."""
+
+    count: int
+    ignored: int
+    min_usec: float
+    max_usec: float
+    mean_usec: float
+    std_usec: float
+    median_usec: float
+    p95_usec: float
+    total_usec: float
+
+    @property
+    def mean_msec(self) -> float:
+        """Mean response time in milliseconds (the figures' unit)."""
+        return self.mean_usec / 1000.0
+
+    def summary(self) -> str:
+        """One-line description of the run statistics."""
+        return (
+            f"n={self.count} (ignored {self.ignored}): "
+            f"mean={self.mean_usec / 1000:.3f}ms "
+            f"min={self.min_usec / 1000:.3f}ms "
+            f"max={self.max_usec / 1000:.3f}ms "
+            f"std={self.std_usec / 1000:.3f}ms"
+        )
+
+
+def summarize(response_usec: Sequence[float], io_ignore: int = 0) -> RunStats:
+    """Summarise response times, dropping the first ``io_ignore`` IOs.
+
+    Raises :class:`~repro.errors.AnalysisError` when nothing remains —
+    an underestimated IOCount, exactly the pitfall Section 4.2 warns
+    about.
+    """
+    total = np.asarray(response_usec, dtype=float)
+    if total.size == 0:
+        raise AnalysisError("cannot summarise an empty run")
+    if io_ignore >= total.size:
+        raise AnalysisError(
+            f"io_ignore={io_ignore} leaves no measurements out of {total.size} "
+            "(IOCount too small for this device's start-up phase)"
+        )
+    kept = total[io_ignore:]
+    return RunStats(
+        count=int(kept.size),
+        ignored=int(io_ignore),
+        min_usec=float(kept.min()),
+        max_usec=float(kept.max()),
+        mean_usec=float(kept.mean()),
+        std_usec=float(kept.std()),
+        median_usec=float(np.median(kept)),
+        p95_usec=float(np.percentile(kept, 95)),
+        total_usec=float(total.sum()),
+    )
+
+
+def running_average(response_usec: Sequence[float], skip: int = 0) -> np.ndarray:
+    """Running mean of response times, optionally skipping a prefix.
+
+    With ``skip=0`` this is Figure 3's "Avg(rt) incl."; with
+    ``skip=io_ignore`` it is "Avg(rt) excl." (aligned to the original
+    indexes, NaN over the skipped prefix).
+    """
+    values = np.asarray(response_usec, dtype=float)
+    if skip >= values.size:
+        raise AnalysisError("skip leaves no measurements for the running average")
+    out = np.full(values.size, np.nan)
+    kept = values[skip:]
+    out[skip:] = np.cumsum(kept) / np.arange(1, kept.size + 1)
+    return out
+
+
+def converged(response_usec: Sequence[float], io_ignore: int, tolerance: float = 0.05) -> bool:
+    """Whether the running mean has converged (Section 4.2's criterion
+    for a sufficient IOCount): the mean over the last quarter of the
+    kept measurements is within ``tolerance`` of the overall kept mean.
+    """
+    values = np.asarray(response_usec, dtype=float)[io_ignore:]
+    if values.size < 8:
+        return False
+    overall = values.mean()
+    tail = values[-(values.size // 4) :].mean()
+    if overall <= 0:
+        return tail <= 0
+    return abs(tail - overall) / overall <= tolerance
+
+
+def relative_difference(a: float, b: float) -> float:
+    """|a-b| / max(|a|,|b|) — used for the paper's 5% repeatability check."""
+    denominator = max(abs(a), abs(b))
+    if denominator == 0:
+        return 0.0
+    return abs(a - b) / denominator

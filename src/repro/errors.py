@@ -1,0 +1,74 @@
+"""Exception hierarchy for the uFLIP reproduction.
+
+All errors raised by this package derive from :class:`ReproError` so that
+callers can catch everything library-specific with a single ``except``
+clause while still being able to discriminate by subsystem.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class GeometryError(ReproError):
+    """A device geometry is inconsistent (e.g. capacity not block-aligned)."""
+
+
+class AddressError(ReproError):
+    """An IO request addresses bytes outside the device's logical space."""
+
+
+class ChipError(ReproError):
+    """A flash chip operation violated the NAND state machine."""
+
+
+class ProgramError(ChipError):
+    """Attempt to program a page that is not in the erased state, or
+    out of sequential order within its block."""
+
+
+class EraseError(ChipError):
+    """Attempt to erase an invalid block, or a block that wore out."""
+
+
+class EnduranceError(ChipError):
+    """A block exceeded its rated erase-cycle endurance."""
+
+
+class BadBlockError(ChipError):
+    """An operation targeted a block marked bad."""
+
+
+class FTLError(ReproError):
+    """The flash translation layer detected an internal inconsistency."""
+
+
+class OutOfSpaceError(FTLError):
+    """The FTL ran out of free flash even after garbage collection.
+
+    On a correctly configured device this indicates the logical space
+    exceeds what the physical space plus overprovisioning can hold.
+    """
+
+
+class PatternError(ReproError):
+    """An IO pattern specification is invalid (violates Table 1 rules)."""
+
+
+class ExperimentError(ReproError):
+    """An experiment definition or execution is invalid."""
+
+
+class PlanError(ReproError):
+    """A benchmark plan could not be constructed (e.g. the accumulated
+    sequential-write target space cannot fit on the device)."""
+
+
+class AnalysisError(ReproError):
+    """Result analysis failed (e.g. not enough data for phase detection)."""
+
+
+class ProfileError(ReproError):
+    """An unknown or inconsistent device profile was requested."""

@@ -1,0 +1,82 @@
+"""``repro.flashsim`` — the simulated flash-device substrate.
+
+The paper benchmarks physical flash devices as black boxes; this
+subpackage builds those black boxes: NAND chips
+(:mod:`~repro.flashsim.chip`), three FTL families
+(:mod:`~repro.flashsim.ftl`), RAM caching
+(:mod:`~repro.flashsim.cache`), the controller
+(:mod:`~repro.flashsim.controller`), and the assembled block device
+(:mod:`~repro.flashsim.device`) with calibrated per-device profiles
+(:mod:`~repro.flashsim.profiles`).
+"""
+
+from repro.flashsim.cache import WriteBackCache
+from repro.flashsim.chip import ERASED, FlashChip
+from repro.flashsim.clock import SimClock
+from repro.flashsim.controller import Controller, ControllerConfig
+from repro.flashsim.device import BackgroundPolicy, DeviceStats, FlashDevice, NoiseSpec
+from repro.flashsim.geometry import Geometry
+from repro.flashsim.power import (
+    MLC_POWER,
+    SLC_POWER,
+    EnergyMeter,
+    PowerSpec,
+    measure_run_energy,
+)
+from repro.flashsim.host import ParallelHost, SyncHost, feed_from_iterable
+from repro.flashsim.profiles import (
+    ALL_PROFILES,
+    TABLE3_PROFILES,
+    DeviceProfile,
+    build_device,
+    get_profile,
+    profile_names,
+    scaled_profile,
+)
+from repro.flashsim.timing import MLC_TIMING, SLC_TIMING, CostAccumulator, TimingSpec
+from repro.flashsim.trace import IOTrace, TraceRow
+from repro.flashsim.wear import (
+    LifetimeProjection,
+    WearReport,
+    project_lifetime,
+    wear_report,
+)
+
+__all__ = [
+    "ALL_PROFILES",
+    "BackgroundPolicy",
+    "Controller",
+    "ControllerConfig",
+    "CostAccumulator",
+    "DeviceProfile",
+    "DeviceStats",
+    "EnergyMeter",
+    "ERASED",
+    "FlashChip",
+    "FlashDevice",
+    "Geometry",
+    "IOTrace",
+    "LifetimeProjection",
+    "MLC_POWER",
+    "MLC_TIMING",
+    "NoiseSpec",
+    "ParallelHost",
+    "PowerSpec",
+    "SLC_TIMING",
+    "SLC_POWER",
+    "SimClock",
+    "SyncHost",
+    "TABLE3_PROFILES",
+    "TimingSpec",
+    "TraceRow",
+    "WearReport",
+    "WriteBackCache",
+    "build_device",
+    "feed_from_iterable",
+    "get_profile",
+    "profile_names",
+    "measure_run_energy",
+    "project_lifetime",
+    "scaled_profile",
+    "wear_report",
+]

@@ -1,0 +1,234 @@
+"""NAND flash chip model.
+
+Implements the flash state machine of Section 2.1 of the paper:
+
+* the basic operations are **read**, **program** and **erase** (not read
+  and write);
+* pages can only be programmed when erased, and only **sequentially
+  within their block** (to limit program-disturb errors on NAND);
+* erase works at block granularity only;
+* blocks endure a bounded number of erase cycles (1e5 MLC / 1e6 SLC),
+  after which they must be retired as *bad blocks*;
+* chips may have two planes (even/odd blocks) usable in parallel.
+
+The chip does not store user data bytes.  Instead each programmed page
+holds an opaque integer *token* supplied by the FTL; tokens let the
+device layer verify read-your-writes in tests without the memory cost of
+real page contents.  Timing is *not* the chip's concern — the FTL counts
+operations in a :class:`~repro.flashsim.timing.CostAccumulator` and the
+device converts counts to microseconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+import numpy as np
+
+from repro.errors import BadBlockError, EnduranceError, EraseError, ProgramError
+from repro.flashsim.geometry import Geometry
+
+#: token value of a page in the erased state
+ERASED = -1
+
+#: default endurance ratings (erase cycles per block), Section 2.1
+SLC_ENDURANCE = 1_000_000
+MLC_ENDURANCE = 100_000
+
+
+class FaultInjector(Protocol):
+    """Optional hook deciding whether a chip operation fails.
+
+    Used by failure-injection tests; production profiles run without one.
+    """
+
+    def program_fails(self, block: int, page_offset: int) -> bool:
+        """Return True to make this program operation fail."""
+        ...
+
+    def erase_fails(self, block: int) -> bool:
+        """Return True to make this erase operation fail."""
+        ...
+
+
+@dataclass
+class ChipStats:
+    """Cumulative operation counters for one chip."""
+
+    page_reads: int = 0
+    page_programs: int = 0
+    block_erases: int = 0
+    program_failures: int = 0
+    erase_failures: int = 0
+
+
+class FlashChip:
+    """One simulated NAND chip (or chip array) behind a controller.
+
+    Parameters
+    ----------
+    geometry:
+        Shared :class:`Geometry`; the chip provides ``geometry.physical_blocks``
+        erase blocks.
+    endurance:
+        Erase cycles per block before the block wears out.
+    fault_injector:
+        Optional :class:`FaultInjector` for failure testing.
+    """
+
+    def __init__(
+        self,
+        geometry: Geometry,
+        endurance: int = SLC_ENDURANCE,
+        fault_injector: FaultInjector | None = None,
+    ) -> None:
+        if endurance <= 0:
+            raise ValueError("endurance must be positive")
+        self.geometry = geometry
+        self.endurance = endurance
+        self.fault_injector = fault_injector
+        self.stats = ChipStats()
+        nblocks = geometry.physical_blocks
+        npages = geometry.physical_pages
+        # token stored in each physical page; ERASED when erased
+        self._tokens = np.full(npages, ERASED, dtype=np.int64)
+        # next programmable page offset within each block (0..pages_per_block)
+        self._write_point = np.zeros(nblocks, dtype=np.int32)
+        self._erase_count = np.zeros(nblocks, dtype=np.int64)
+        self._bad = np.zeros(nblocks, dtype=bool)
+
+    # ------------------------------------------------------------------
+    # validation helpers
+    # ------------------------------------------------------------------
+
+    def _check_block(self, block: int) -> None:
+        if not 0 <= block < self.geometry.physical_blocks:
+            raise EraseError(
+                f"block {block} out of range 0..{self.geometry.physical_blocks - 1}"
+            )
+
+    def _check_page(self, block: int, page_offset: int) -> None:
+        self._check_block(block)
+        if not 0 <= page_offset < self.geometry.pages_per_block:
+            raise ProgramError(
+                f"page offset {page_offset} out of range "
+                f"0..{self.geometry.pages_per_block - 1}"
+            )
+
+    def _page_index(self, block: int, page_offset: int) -> int:
+        return block * self.geometry.pages_per_block + page_offset
+
+    # ------------------------------------------------------------------
+    # the three NAND operations
+    # ------------------------------------------------------------------
+
+    def read(self, block: int, page_offset: int) -> int:
+        """Read the token of a physical page (ERASED if never programmed)."""
+        self._check_page(block, page_offset)
+        if self._bad[block]:
+            raise BadBlockError(f"read from bad block {block}")
+        self.stats.page_reads += 1
+        return int(self._tokens[self._page_index(block, page_offset)])
+
+    def program(self, block: int, page_offset: int, token: int) -> None:
+        """Program one page with ``token``.
+
+        Enforces NAND constraints: the page must be erased and must be
+        the next page in program order within its block.
+        """
+        self._check_page(block, page_offset)
+        if self._bad[block]:
+            raise BadBlockError(f"program to bad block {block}")
+        if token < 0:
+            raise ProgramError("tokens must be non-negative")
+        write_point = int(self._write_point[block])
+        if page_offset != write_point:
+            raise ProgramError(
+                f"out-of-order program in block {block}: page {page_offset} "
+                f"programmed while write point is {write_point} "
+                "(NAND pages must be programmed sequentially within a block)"
+            )
+        if self.fault_injector is not None and self.fault_injector.program_fails(
+            block, page_offset
+        ):
+            self.stats.program_failures += 1
+            self.mark_bad(block)
+            raise ProgramError(f"injected program failure in block {block}")
+        self._tokens[self._page_index(block, page_offset)] = token
+        self._write_point[block] = write_point + 1
+        self.stats.page_programs += 1
+
+    def erase(self, block: int) -> None:
+        """Erase a whole block, resetting all its pages to ERASED."""
+        self._check_block(block)
+        if self._bad[block]:
+            raise BadBlockError(f"erase of bad block {block}")
+        if self._erase_count[block] >= self.endurance:
+            self.mark_bad(block)
+            raise EnduranceError(
+                f"block {block} exceeded endurance of {self.endurance} erase cycles"
+            )
+        if self.fault_injector is not None and self.fault_injector.erase_fails(block):
+            self.stats.erase_failures += 1
+            self.mark_bad(block)
+            raise EraseError(f"injected erase failure in block {block}")
+        start = self._page_index(block, 0)
+        self._tokens[start : start + self.geometry.pages_per_block] = ERASED
+        self._write_point[block] = 0
+        self._erase_count[block] += 1
+        self.stats.block_erases += 1
+
+    # ------------------------------------------------------------------
+    # block health and introspection
+    # ------------------------------------------------------------------
+
+    def mark_bad(self, block: int) -> None:
+        """Retire a block; it will reject all further operations."""
+        self._check_block(block)
+        self._bad[block] = True
+
+    def is_bad(self, block: int) -> bool:
+        """Whether a block has been retired."""
+        self._check_block(block)
+        return bool(self._bad[block])
+
+    def is_erased(self, block: int) -> bool:
+        """Whether the whole block is in the erased state."""
+        self._check_block(block)
+        return int(self._write_point[block]) == 0
+
+    def write_point(self, block: int) -> int:
+        """Next programmable page offset within ``block``."""
+        self._check_block(block)
+        return int(self._write_point[block])
+
+    def erase_count(self, block: int) -> int:
+        """Erase cycles this block has endured so far."""
+        self._check_block(block)
+        return int(self._erase_count[block])
+
+    def erase_counts(self) -> np.ndarray:
+        """Copy of the per-block erase counters (for wear statistics)."""
+        return self._erase_count.copy()
+
+    def plane_of(self, block: int) -> int:
+        """Plane a block belongs to (even blocks plane 0, odd plane 1)."""
+        self._check_block(block)
+        return block % self.geometry.planes if self.geometry.planes > 1 else 0
+
+    def good_blocks(self) -> int:
+        """Number of blocks not (yet) retired."""
+        return int((~self._bad).sum())
+
+    def wear_summary(self) -> dict[str, float]:
+        """Wear-levelling quality indicators across good blocks."""
+        counts = self._erase_count[~self._bad]
+        if counts.size == 0:
+            return {"min": 0.0, "max": 0.0, "mean": 0.0, "std": 0.0}
+        return {
+            "min": float(counts.min()),
+            "max": float(counts.max()),
+            "mean": float(counts.mean()),
+            "std": float(counts.std()),
+        }

@@ -1,0 +1,252 @@
+"""The simulated flash block device.
+
+:class:`FlashDevice` assembles chip + FTL + controller behind the block
+interface the paper benchmarks: ``submit(lba, size, mode, now)``.  It
+owns the conversion of physical work into simulated microseconds and the
+**background reclamation engine** that turns host idle time into
+deferred merges/GC — the machinery behind the paper's start-up phases
+(Figure 3), Pause/Burst absorption (Table 3) and the lingering read
+interference after random writes (Figure 5).
+
+Background-time accounting: the device accumulates *credit* —
+idle gaps at full rate, plus a fraction of read service time (the
+controller can reclaim concurrently while streaming a read, but not
+while programming host data).  Each credit window pays for whole
+background units (one merge / one GC victim) at their true flash cost.
+Credit left over after the queue drains is clamped so a long idle period
+cannot subsidise future foreground work.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.errors import AddressError
+from repro.flashsim.chip import FlashChip
+from repro.flashsim.controller import Controller
+from repro.flashsim.ftl.base import BaseFTL
+from repro.flashsim.geometry import Geometry
+from repro.flashsim.timing import CostAccumulator, TimingSpec
+from repro.iotypes import CompletedIO, IORequest, Mode
+
+
+@dataclass
+class DeviceStats:
+    """Aggregate counters over the device's lifetime."""
+
+    reads: int = 0
+    writes: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    busy_usec: float = 0.0
+    background_units: int = 0
+    background_usec: float = 0.0
+    interfered_reads: int = 0
+
+
+@dataclass(frozen=True)
+class NoiseSpec:
+    """Measurement jitter on service times.
+
+    Real hosts add OS and interconnect noise on top of the device's
+    deterministic cost (the paper's repeat runs agreed only within 5%).
+    ``jitter`` is the relative standard deviation of a log-normal-ish
+    multiplicative factor; 0 disables noise (the default — deterministic
+    runs are what most tests want).  Noise is seeded per device, so a
+    simulation stays reproducible.
+    """
+
+    jitter: float = 0.0
+    seed: int = 12345
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError("jitter must be in [0, 1)")
+
+
+@dataclass(frozen=True)
+class BackgroundPolicy:
+    """How the device schedules deferred reclamation.
+
+    ``read_concurrency`` is the fraction of read service time usable for
+    background work; ``read_interference`` multiplies the response time
+    of reads issued while the background queue is non-empty (Figure 5's
+    lingering effect).  Devices without asynchronous reclamation keep the
+    FTL's background disabled and never enter this path.
+    """
+
+    read_concurrency: float = 1.0
+    read_interference: float = 1.6
+    max_leftover_credit_usec: float = 2_000.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.read_concurrency <= 1.0:
+            raise ValueError("read_concurrency must be in [0, 1]")
+        if self.read_interference < 1.0:
+            raise ValueError("read_interference must be >= 1")
+
+
+class FlashDevice:
+    """A black-box flash device with the paper's block interface."""
+
+    def __init__(
+        self,
+        name: str,
+        geometry: Geometry,
+        timing: TimingSpec,
+        chip: FlashChip,
+        ftl: BaseFTL,
+        controller: Controller,
+        background: BackgroundPolicy | None = None,
+        noise: NoiseSpec | None = None,
+    ) -> None:
+        self.name = name
+        self.geometry = geometry
+        self.timing = timing
+        self.chip = chip
+        self.ftl = ftl
+        self.controller = controller
+        self.background = background or BackgroundPolicy()
+        self.noise = noise or NoiseSpec()
+        self._noise_rng = random.Random(self.noise.seed)
+        self.stats = DeviceStats()
+        self._busy_until = 0.0
+        self._bg_credit = 0.0
+
+    # ------------------------------------------------------------------
+    # the block interface
+    # ------------------------------------------------------------------
+
+    @property
+    def capacity(self) -> int:
+        """Logical capacity in bytes."""
+        return self.geometry.logical_bytes
+
+    def submit(self, request: IORequest, now: float) -> CompletedIO:
+        """Submit one IO at simulated time ``now`` and service it.
+
+        The device is a single queue: service starts when it falls idle.
+        Response time = completion − submission, queueing included.
+        """
+        if not self.geometry.contains(request.lba, request.size):
+            raise AddressError(
+                f"IO [{request.lba}, +{request.size}) outside device capacity "
+                f"{self.geometry.logical_bytes}"
+            )
+        start = max(now, self._busy_until)
+        self._grant_background(max(0.0, start - self._busy_until))
+
+        cost = CostAccumulator()
+        interfered = False
+        if request.mode is Mode.READ:
+            self.controller.read(request.lba, request.size, cost)
+            service = cost.total(self.timing)
+            if self.ftl.background_work_pending():
+                service *= self.background.read_interference
+                interfered = True
+            self._grant_background(service * self.background.read_concurrency)
+        else:
+            self.controller.write(request.lba, request.size, cost)
+            service = cost.total(self.timing)
+        if self.noise.jitter:
+            # multiplicative measurement noise, floored so service time
+            # never collapses below half its deterministic cost
+            factor = self._noise_rng.gauss(1.0, self.noise.jitter)
+            service *= max(0.5, factor)
+
+        completion = start + service
+        self._busy_until = completion
+        self._account(request, service, interfered)
+        return CompletedIO(
+            request=request,
+            submitted_at=now,
+            started_at=start,
+            completed_at=completion,
+            cost=cost,
+        )
+
+    def read(self, lba: int, size: int, now: float = 0.0) -> CompletedIO:
+        """Convenience synchronous read (examples / tests)."""
+        return self.submit(IORequest(0, lba, size, Mode.READ, now), now)
+
+    def write(self, lba: int, size: int, now: float = 0.0) -> CompletedIO:
+        """Convenience synchronous write (examples / tests)."""
+        return self.submit(IORequest(0, lba, size, Mode.WRITE, now), now)
+
+    # ------------------------------------------------------------------
+    # background engine
+    # ------------------------------------------------------------------
+
+    def _grant_background(self, usec: float) -> None:
+        """Feed ``usec`` of reclamation-capable time to the FTL."""
+        if usec <= 0.0:
+            return
+        self._bg_credit += usec
+        while self._bg_credit > 0.0 and self.ftl.background_work_pending():
+            unit = self.ftl.do_background_unit()
+            if unit is None:
+                break
+            spent = unit.total(self.timing, include_overhead=False)
+            self._bg_credit -= spent
+            self.stats.background_units += 1
+            self.stats.background_usec += spent
+        # Positive leftover credit must not subsidise future foreground
+        # phases; negative credit (the last unit overran its window) is
+        # real debt and must be paid in full by later grants — clamping
+        # it would let interleaved reads absorb merges below cost.
+        self._bg_credit = min(self._bg_credit, self.background.max_leftover_credit_usec)
+
+    def background_pending(self) -> bool:
+        """Whether deferred device work exists right now."""
+        return self.ftl.background_work_pending()
+
+    def idle(self, until: float) -> None:
+        """Declare the device idle up to simulated time ``until``.
+
+        Equivalent to the methodology's pause between runs: background
+        work proceeds during the gap.
+        """
+        if until > self._busy_until:
+            self._grant_background(until - self._busy_until)
+            self._busy_until = until
+
+    def drain(self) -> CostAccumulator:
+        """Force-complete all deferred work and flush the RAM cache.
+
+        Used by state enforcement and between experiments when the
+        methodology's pause is long enough to rest the device fully.
+        """
+        total = CostAccumulator()
+        self.controller.flush_cache(total)
+        total.add(self.ftl.drain_background())
+        self._bg_credit = 0.0
+        return total
+
+    # ------------------------------------------------------------------
+    # accounting / introspection
+    # ------------------------------------------------------------------
+
+    def _account(self, request: IORequest, service: float, interfered: bool) -> None:
+        self.stats.busy_usec += service
+        if request.mode is Mode.READ:
+            self.stats.reads += 1
+            self.stats.bytes_read += request.size
+            if interfered:
+                self.stats.interfered_reads += 1
+        else:
+            self.stats.writes += 1
+            self.stats.bytes_written += request.size
+
+    @property
+    def busy_until(self) -> float:
+        """Simulated time at which the device falls idle."""
+        return self._busy_until
+
+    def check_invariants(self) -> None:
+        """Delegate to the FTL's consistency checks (tests)."""
+        self.ftl.check_invariants()
+
+    def describe(self) -> str:
+        """One-line device description (name, geometry, FTL)."""
+        return f"{self.name}: {self.geometry.describe()}, FTL={type(self.ftl).__name__}"

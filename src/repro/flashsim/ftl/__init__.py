@@ -1,0 +1,20 @@
+"""FTL implementations: hybrid log-block, strict block-map, page-map."""
+
+from repro.flashsim.ftl.base import BaseFTL
+from repro.flashsim.ftl.blockmap import BlockMapConfig, BlockMapFTL
+from repro.flashsim.ftl.fast import FastConfig, FastFTL
+from repro.flashsim.ftl.hybrid import FILLER_TOKEN, HybridConfig, HybridLogFTL
+from repro.flashsim.ftl.pagemap import PageMapConfig, PageMapFTL
+
+__all__ = [
+    "BaseFTL",
+    "BlockMapConfig",
+    "BlockMapFTL",
+    "FastConfig",
+    "FastFTL",
+    "FILLER_TOKEN",
+    "HybridConfig",
+    "HybridLogFTL",
+    "PageMapConfig",
+    "PageMapFTL",
+]

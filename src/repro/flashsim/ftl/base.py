@@ -1,0 +1,151 @@
+"""Flash translation layer (FTL) interface.
+
+Section 2.2 of the paper: the block manager maintains maps between
+logical block addresses and flash pages, trading expensive in-place
+writes (with their erases) for writes onto free pages, at the price of
+page reclamation later.  The exact design varies per device and is
+undocumented — which is why uFLIP treats devices as black boxes.  The
+simulator implements three FTL families that span the 2008 design space:
+
+* :class:`~repro.flashsim.ftl.hybrid.HybridLogFTL` — block-mapped data
+  with a pool of page-mapped *log blocks* and switch/partial/full merges
+  (high-end and mid-range SSDs);
+* :class:`~repro.flashsim.ftl.blockmap.BlockMapFTL` — strict block
+  mapping with replacement blocks (USB sticks, SD cards);
+* :class:`~repro.flashsim.ftl.pagemap.PageMapFTL` — fully page-mapped
+  with greedy garbage collection (the "modern SSD" design).
+
+All FTLs speak **logical pages** (the controller converts byte extents)
+and record their physical work in a
+:class:`~repro.flashsim.timing.CostAccumulator`; they never deal in
+microseconds directly.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Sequence
+
+from repro.errors import AddressError
+from repro.flashsim.chip import ERASED, FlashChip
+from repro.flashsim.geometry import Geometry
+from repro.flashsim.timing import CostAccumulator
+
+
+class BaseFTL(ABC):
+    """Abstract flash translation layer.
+
+    Subclasses implement the two data-path operations plus the optional
+    background-reclamation hooks used to reproduce the paper's Pause,
+    Burst and interference effects (Sections 4.3, 5.2).
+    """
+
+    def __init__(self, geometry: Geometry, chip: FlashChip) -> None:
+        self.geometry = geometry
+        self.chip = chip
+
+    # ------------------------------------------------------------------
+    # data path
+    # ------------------------------------------------------------------
+
+    @abstractmethod
+    def read_page(self, lpage: int, cost: CostAccumulator) -> int:
+        """Read the token last written to logical page ``lpage``.
+
+        Returns :data:`~repro.flashsim.chip.ERASED` for never-written
+        pages.  Physical reads performed are recorded in ``cost``.
+        """
+
+    @abstractmethod
+    def write_page(self, lpage: int, token: int, cost: CostAccumulator) -> None:
+        """Write ``token`` to logical page ``lpage``.
+
+        All induced physical work — programs, merge copies, erases — is
+        recorded in ``cost``.
+        """
+
+    def write_pages(
+        self, items: "Sequence[tuple[int, int]]", cost: CostAccumulator
+    ) -> None:
+        """Write a batch of ``(lpage, token)`` pairs.
+
+        The batch corresponds to one host IO or one cache destage group,
+        so FTLs that classify write *runs* (sequential stream vs random,
+        as 2008-era hybrid controllers did) can see whole runs instead
+        of single pages.  Default: page-by-page.
+        """
+        for lpage, token in items:
+            self.write_page(lpage, token, cost)
+
+    def note_io_boundary(self, end_byte: int, cost: CostAccumulator) -> None:
+        """Hook called by the controller after each host *write* IO.
+
+        Cheap controllers with no RAM to keep write state across commands
+        commit (close) their replacement block unless the IO ended on an
+        internal commit boundary — the physical cause of the strikingly
+        expensive small sequential writes of Figure 7.  Default: no-op.
+        """
+
+    # ------------------------------------------------------------------
+    # background reclamation (default: none)
+    # ------------------------------------------------------------------
+
+    def background_work_pending(self) -> bool:
+        """Whether deferred reclamation work exists (merges, GC)."""
+        return False
+
+    def do_background_unit(self) -> CostAccumulator | None:
+        """Perform one unit of deferred work; return its cost, or None.
+
+        The device layer converts the returned cost into simulated time
+        and schedules it into idle gaps between host IOs.
+        """
+        return None
+
+    def drain_background(self) -> CostAccumulator:
+        """Run all pending background work to completion (between runs)."""
+        total = CostAccumulator()
+        while self.background_work_pending():
+            unit = self.do_background_unit()
+            if unit is None:
+                break
+            total.add(unit)
+        return total
+
+    def quiesce(self) -> CostAccumulator:
+        """Resolve *all* deferred work, regardless of the background
+        configuration (tests and power-down modelling).  Default: just
+        the background queue."""
+        return self.drain_background()
+
+    # ------------------------------------------------------------------
+    # shared helpers / invariants
+    # ------------------------------------------------------------------
+
+    def _check_lpage(self, lpage: int) -> None:
+        if not 0 <= lpage < self.geometry.logical_pages:
+            raise AddressError(
+                f"logical page {lpage} out of range 0..{self.geometry.logical_pages - 1}"
+            )
+
+    @abstractmethod
+    def free_blocks(self) -> int:
+        """Number of erased, unassigned physical blocks."""
+
+    @abstractmethod
+    def check_invariants(self) -> None:
+        """Raise :class:`~repro.errors.FTLError` on internal inconsistency.
+
+        Called by tests after arbitrary operation sequences; must verify
+        block conservation and map consistency.
+        """
+
+    # convenience used by tests and the device shadow check
+
+    def read_token_quiet(self, lpage: int) -> int:
+        """Read a logical page without recording any cost (test helper)."""
+        scratch = CostAccumulator()
+        return self.read_page(lpage, scratch)
+
+
+__all__ = ["BaseFTL", "ERASED"]

@@ -1,0 +1,270 @@
+"""Strict block-mapping FTL (USB flash drives, SD cards, IDE modules).
+
+The cheapest controllers map logical blocks to physical blocks one to
+one and service writes through a handful of *replacement blocks*:
+
+* an **append** to the open replacement block is cheap (program only);
+* a **forward gap** copies the skipped pages from the old block first;
+* an **out-of-order** write (offset already passed) forces the current
+  replacement to be finalised and a new one opened, copying everything
+  before the write — nearly a full block copy *per IO*.  This is the
+  mechanism behind Kingston DTI's constant ~256 ms random writes and its
+  x40 in-place penalty (Table 3).
+
+``sync_commit_boundary`` models controllers that cannot hold write state
+across host commands: unless a write IO ends exactly on the boundary,
+the replacement block is finalised immediately.  Small sequential writes
+then pay a near-full block copy each (Figure 7's shape, where 4 KiB
+sequential writes cost an order of magnitude more than 32 KiB ones).
+
+``map_flush_every_blocks`` models the periodic rewrite of the on-flash
+inverse-map segment (Section 2.2): every N finalised blocks the FTL
+pays a bookkeeping burst.  This is the long-period oscillation visible
+in Figure 4 (Kingston DTI sequential writes, period ~128 IOs).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import FTLError, OutOfSpaceError
+from repro.flashsim.chip import ERASED, FlashChip
+from repro.flashsim.ftl.base import BaseFTL
+from repro.flashsim.ftl.hybrid import FILLER_TOKEN
+from repro.flashsim.geometry import Geometry
+from repro.flashsim.timing import CostAccumulator
+
+
+@dataclass(frozen=True)
+class BlockMapConfig:
+    """Tuning of a :class:`BlockMapFTL`.
+
+    ``replacement_slots`` is the number of logical blocks that may have
+    an open replacement at once — the device's partitioning limit.
+    ``sync_commit_boundary`` (bytes, 0 = disabled) finalises the open
+    replacement after any write IO not ending on the boundary.
+    """
+
+    replacement_slots: int = 4
+    sync_commit_boundary: int = 0
+    map_flush_every_blocks: int = 0
+    map_flush_pages: int = 32
+
+    def __post_init__(self) -> None:
+        if self.replacement_slots < 1:
+            raise FTLError("replacement_slots must be >= 1")
+        if self.sync_commit_boundary < 0:
+            raise FTLError("sync_commit_boundary must be >= 0")
+        if self.map_flush_every_blocks < 0 or self.map_flush_pages < 0:
+            raise FTLError("map flush parameters must be >= 0")
+
+
+class _Replacement:
+    """An open replacement block holding pages ``0..next_offset-1``."""
+
+    __slots__ = ("lblock", "pblock", "next_offset")
+
+    def __init__(self, lblock: int, pblock: int) -> None:
+        self.lblock = lblock
+        self.pblock = pblock
+        self.next_offset = 0
+
+
+class BlockMapFTL(BaseFTL):
+    """One-to-one block mapping with in-order replacement blocks."""
+
+    def __init__(
+        self,
+        geometry: Geometry,
+        chip: FlashChip,
+        config: BlockMapConfig | None = None,
+    ) -> None:
+        super().__init__(geometry, chip)
+        self.config = config or BlockMapConfig()
+        min_spare = self.config.replacement_slots + 1
+        if geometry.spare_blocks < min_spare:
+            raise FTLError(
+                f"geometry provides {geometry.spare_blocks} spare blocks but "
+                f"the block-map FTL needs at least {min_spare}"
+            )
+        self._data_map = np.full(geometry.logical_blocks, -1, dtype=np.int64)
+        self._free: deque[int] = deque(range(geometry.physical_blocks))
+        self._open: OrderedDict[int, _Replacement] = OrderedDict()
+        self.finalize_count = 0
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+
+    def read_page(self, lpage: int, cost: CostAccumulator) -> int:
+        """See :meth:`BaseFTL.read_page`: replacement block first, then data."""
+        self._check_lpage(lpage)
+        lblock, offset = divmod(lpage, self.geometry.pages_per_block)
+        rep = self._open.get(lblock)
+        if rep is not None and offset < rep.next_offset:
+            cost.page_reads += 1
+            return self._decode(self.chip.read(rep.pblock, offset))
+        data = int(self._data_map[lblock])
+        if data < 0 or offset >= self.chip.write_point(data):
+            return ERASED
+        cost.page_reads += 1
+        return self._decode(self.chip.read(data, offset))
+
+    @staticmethod
+    def _decode(token: int) -> int:
+        return ERASED if token == FILLER_TOKEN else token
+
+    # ------------------------------------------------------------------
+    # writes
+    # ------------------------------------------------------------------
+
+    def write_page(self, lpage: int, token: int, cost: CostAccumulator) -> None:
+        """See :meth:`BaseFTL.write_page`: append, gap-fill or full copy."""
+        self._check_lpage(lpage)
+        if token <= FILLER_TOKEN:
+            raise FTLError(f"host tokens must be > {FILLER_TOKEN}, got {token}")
+        lblock, offset = divmod(lpage, self.geometry.pages_per_block)
+        rep = self._open.get(lblock)
+        if rep is not None and offset < rep.next_offset:
+            # Out of order: close this replacement and start over —
+            # effectively a full block copy for a single page write.
+            self._finalize(lblock, cost)
+            rep = None
+        if rep is None:
+            rep = self._open_replacement(lblock, cost)
+        if offset > rep.next_offset:
+            self._copy_range(rep, rep.next_offset, offset, cost)
+        self.chip.program(rep.pblock, offset, token)
+        cost.page_programs += 1
+        rep.next_offset = offset + 1
+        self._open.move_to_end(lblock)
+        if rep.next_offset == self.geometry.pages_per_block:
+            self._finalize(lblock, cost)
+
+    def note_io_boundary(self, end_byte: int, cost: CostAccumulator) -> None:
+        """Finalise the open replacement unless the IO ended on the commit boundary."""
+        boundary = self.config.sync_commit_boundary
+        if boundary and end_byte % boundary != 0 and self._open:
+            # Finalise the replacement the IO just touched (the MRU one).
+            lblock = next(reversed(self._open))
+            self._finalize(lblock, cost)
+
+    # ------------------------------------------------------------------
+    # replacement management
+    # ------------------------------------------------------------------
+
+    def _open_replacement(self, lblock: int, cost: CostAccumulator) -> _Replacement:
+        if len(self._open) >= self.config.replacement_slots:
+            victim = next(iter(self._open))  # LRU
+            self._finalize(victim, cost)
+        if not self._free:
+            raise OutOfSpaceError("block-map FTL exhausted all free blocks")
+        rep = _Replacement(lblock, self._free.popleft())
+        self._open[lblock] = rep
+        return rep
+
+    def _copy_range(
+        self, rep: _Replacement, start: int, end: int, cost: CostAccumulator
+    ) -> None:
+        """Copy pages ``[start, end)`` of the logical block from the old
+        physical block into the replacement (filling gaps with filler)."""
+        old = int(self._data_map[rep.lblock])
+        old_end = self.chip.write_point(old) if old >= 0 else 0
+        for offset in range(start, end):
+            if offset < old_end:
+                token = self.chip.read(old, offset)
+                cost.copy_reads += 1
+            else:
+                token = ERASED
+            self.chip.program(
+                rep.pblock, offset, token if token != ERASED else FILLER_TOKEN
+            )
+            cost.copy_programs += 1
+
+    def _finalize(self, lblock: int, cost: CostAccumulator) -> None:
+        """Complete a replacement: copy the old block's tail, swap the
+        map, erase the old block."""
+        rep = self._open.pop(lblock)
+        old = int(self._data_map[lblock])
+        if old >= 0:
+            tail_end = self.chip.write_point(old)
+            if tail_end > rep.next_offset:
+                self._copy_range_tail(rep, tail_end, old, cost)
+        self._data_map[lblock] = rep.pblock
+        if old >= 0:
+            self.chip.erase(old)
+            cost.block_erases += 1
+            self._free.append(old)
+        self.finalize_count += 1
+        cost.note("finalize")
+        every = self.config.map_flush_every_blocks
+        if every and self.finalize_count % every == 0:
+            # rewrite of the on-flash inverse-map segment; the metadata
+            # area lives outside the modelled address space, so only the
+            # cost is charged
+            cost.copy_programs += self.config.map_flush_pages
+            cost.note("map-flush")
+
+    def _copy_range_tail(
+        self, rep: _Replacement, tail_end: int, old: int, cost: CostAccumulator
+    ) -> None:
+        for offset in range(rep.next_offset, tail_end):
+            token = self.chip.read(old, offset)
+            cost.copy_reads += 1
+            self.chip.program(
+                rep.pblock, offset, token if token != ERASED else FILLER_TOKEN
+            )
+            cost.copy_programs += 1
+        rep.next_offset = tail_end
+
+    def quiesce(self) -> CostAccumulator:
+        """Finalise every open replacement block."""
+        total = CostAccumulator()
+        while self._open:
+            self._finalize(next(iter(self._open)), total)
+        return total
+
+    # ------------------------------------------------------------------
+    # introspection & invariants
+    # ------------------------------------------------------------------
+
+    def free_blocks(self) -> int:
+        """Number of erased, unassigned physical blocks."""
+        return len(self._free)
+
+    def open_replacement_count(self) -> int:
+        """Replacement blocks currently open."""
+        return len(self._open)
+
+    def check_invariants(self) -> None:
+        """Verify block conservation and replacement/chip consistency."""
+        roles: dict[int, str] = {}
+
+        def claim(block: int, role: str) -> None:
+            if block in roles:
+                raise FTLError(
+                    f"physical block {block} has two roles: {roles[block]} and {role}"
+                )
+            roles[block] = role
+
+        for block in self._free:
+            claim(block, "free")
+            if not self.chip.is_erased(block):
+                raise FTLError(f"free block {block} is not erased")
+        for rep in self._open.values():
+            claim(rep.pblock, f"replacement[{rep.lblock}]")
+            if self.chip.write_point(rep.pblock) != rep.next_offset:
+                raise FTLError(
+                    f"replacement for lblock {rep.lblock} desynchronised from chip"
+                )
+        for lblock, pblock in enumerate(self._data_map):
+            if pblock >= 0:
+                claim(int(pblock), f"data[{lblock}]")
+        if len(roles) != self.geometry.physical_blocks:
+            raise FTLError(
+                f"block conservation violated: {len(roles)} of "
+                f"{self.geometry.physical_blocks} physical blocks accounted for"
+            )

@@ -1,0 +1,316 @@
+"""Fully page-mapped FTL with greedy garbage collection.
+
+This is the "modern SSD" end of the design space (and the design most
+2008-era papers *assumed*): a direct map at page granularity, writes
+appended to an active block, and a garbage collector that reclaims the
+block with the fewest valid pages.  Section 2.2 of the paper describes
+exactly this map (direct + inverse) and its RAM cost.
+
+Performance shape: sequential overwrites leave fully-invalid victims
+(GC = erase only, cheap); random writes over a wide area leave uniformly
+half-valid victims (GC copies most of a block per reclaim, expensive);
+random writes confined to an area no bigger than the spare pool converge
+to cheap GC — the *Locality* effect, emerging mechanically.
+
+The FTL also implements threshold-based **static wear levelling**:
+when the erase-count spread exceeds a threshold, the coldest data block
+is relocated so its low-wear block re-enters the rotation.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import FTLError, OutOfSpaceError
+from repro.flashsim.chip import ERASED, FlashChip
+from repro.flashsim.ftl.base import BaseFTL
+from repro.flashsim.geometry import Geometry
+from repro.flashsim.timing import CostAccumulator
+
+# block states
+_FREE, _ACTIVE, _DATA = 0, 1, 2
+
+
+@dataclass(frozen=True)
+class PageMapConfig:
+    """Tuning of a :class:`PageMapFTL`.
+
+    ``gc_low_blocks`` is the free-pool level at which foreground GC
+    kicks in; ``bg_target_blocks`` (> ``gc_low_blocks``) is what the
+    background collector restores during idle time when ``bg_enabled``.
+    ``wear_threshold`` (0 = disabled) triggers static wear levelling
+    when the erase-count spread exceeds it.
+
+    ``gc_policy`` selects the victim: ``"greedy"`` (fewest valid pages
+    — best immediate yield) or ``"cost-benefit"`` (the classic
+    LFS/flash policy weighing yield against the block's age, which
+    avoids repeatedly collecting hot, soon-to-be-invalidated blocks).
+    """
+
+    gc_low_blocks: int = 2
+    bg_enabled: bool = False
+    bg_target_blocks: int = 0
+    wear_threshold: int = 0
+    gc_policy: str = "greedy"
+
+    def __post_init__(self) -> None:
+        if self.gc_low_blocks < 1:
+            raise FTLError("gc_low_blocks must be >= 1")
+        if self.bg_enabled and self.bg_target_blocks <= self.gc_low_blocks:
+            raise FTLError("bg_target_blocks must exceed gc_low_blocks")
+        if self.wear_threshold < 0:
+            raise FTLError("wear_threshold must be >= 0")
+        if self.gc_policy not in ("greedy", "cost-benefit"):
+            raise FTLError(f"unknown gc_policy {self.gc_policy!r}")
+
+
+class PageMapFTL(BaseFTL):
+    """Direct page map + append log + greedy garbage collection."""
+
+    def __init__(
+        self,
+        geometry: Geometry,
+        chip: FlashChip,
+        config: PageMapConfig | None = None,
+    ) -> None:
+        super().__init__(geometry, chip)
+        self.config = config or PageMapConfig()
+        min_spare = self.config.gc_low_blocks + 3  # host active + GC active + reserve
+        if geometry.spare_blocks < min_spare:
+            raise FTLError(
+                f"geometry provides {geometry.spare_blocks} spare blocks but "
+                f"the page-map FTL needs at least {min_spare}"
+            )
+        if self.config.bg_enabled and self.config.bg_target_blocks > geometry.spare_blocks - 3:
+            raise FTLError("bg_target_blocks exceeds the spare area")
+        npages = geometry.physical_pages
+        self._l2p = np.full(geometry.logical_pages, -1, dtype=np.int64)
+        self._p2l = np.full(npages, -1, dtype=np.int64)
+        self._valid = np.zeros(geometry.physical_blocks, dtype=np.int32)
+        self._state = np.full(geometry.physical_blocks, _FREE, dtype=np.int8)
+        self._free: deque[int] = deque(range(geometry.physical_blocks))
+        self._host_active = self._allocate_active()
+        self._gc_active = self._allocate_active()
+        # logical sequence number at which each block was retired to
+        # data state — the "age" input of the cost-benefit policy
+        self._retired_at = np.zeros(geometry.physical_blocks, dtype=np.int64)
+        self._sequence = 0
+        self.gc_collections = 0
+        self.wear_relocations = 0
+
+    # ------------------------------------------------------------------
+    # allocation
+    # ------------------------------------------------------------------
+
+    def _allocate_active(self) -> int:
+        if not self._free:
+            raise OutOfSpaceError("page-map FTL exhausted all free blocks")
+        block = self._free.popleft()
+        self._state[block] = _ACTIVE
+        return block
+
+    def _retire_active(self, block: int) -> None:
+        self._state[block] = _DATA
+        self._sequence += 1
+        self._retired_at[block] = self._sequence
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+
+    def read_page(self, lpage: int, cost: CostAccumulator) -> int:
+        """See :meth:`BaseFTL.read_page`: one direct-map lookup."""
+        self._check_lpage(lpage)
+        ppage = int(self._l2p[lpage])
+        if ppage < 0:
+            return ERASED
+        cost.page_reads += 1
+        block, offset = divmod(ppage, self.geometry.pages_per_block)
+        return self.chip.read(block, offset)
+
+    # ------------------------------------------------------------------
+    # writes
+    # ------------------------------------------------------------------
+
+    def write_page(self, lpage: int, token: int, cost: CostAccumulator) -> None:
+        """See :meth:`BaseFTL.write_page`: invalidate, append, maybe GC."""
+        self._check_lpage(lpage)
+        if token < 0:
+            raise FTLError("host tokens must be non-negative")
+        self._invalidate(lpage)
+        self._append(lpage, token, host=True, cost=cost)
+        cost.page_programs += 1
+        # Foreground GC once the pool is at the low watermark — this is
+        # the oscillation of the running phase (Figures 3/4).
+        while len(self._free) <= self.config.gc_low_blocks:
+            if not self._collect_one(cost):
+                break
+        if self.config.wear_threshold:
+            self._maybe_wear_level(cost)
+
+    def _invalidate(self, lpage: int) -> None:
+        old = int(self._l2p[lpage])
+        if old >= 0:
+            self._p2l[old] = -1
+            self._valid[old // self.geometry.pages_per_block] -= 1
+            self._l2p[lpage] = -1
+
+    def _append(self, lpage: int, token: int, host: bool, cost: CostAccumulator) -> None:
+        """Program one page at the relevant active block's write point."""
+        ppb = self.geometry.pages_per_block
+        active = self._host_active if host else self._gc_active
+        if self.chip.write_point(active) == ppb:
+            self._retire_active(active)
+            active = self._allocate_active()
+            if host:
+                self._host_active = active
+            else:
+                self._gc_active = active
+        offset = self.chip.write_point(active)
+        self.chip.program(active, offset, token)
+        ppage = active * ppb + offset
+        self._l2p[lpage] = ppage
+        self._p2l[ppage] = lpage
+        self._valid[active] += 1
+
+    # ------------------------------------------------------------------
+    # garbage collection
+    # ------------------------------------------------------------------
+
+    def _pick_victim(self) -> int | None:
+        """Select a GC victim under the configured policy.
+
+        A fully-valid victim would be relocated for zero net gain (it
+        frees one block while its copies consume one), so GC refuses it —
+        there is simply no reclaimable space right now.
+        """
+        candidates = self._state == _DATA
+        if not candidates.any():
+            return None
+        if self.config.gc_policy == "greedy":
+            masked = np.where(candidates, self._valid, np.iinfo(np.int32).max)
+            victim = int(masked.argmin())
+        else:
+            victim = self._pick_cost_benefit(candidates)
+            if victim is None:
+                return None
+        if int(self._valid[victim]) >= self.geometry.pages_per_block:
+            return None
+        return victim
+
+    def _pick_cost_benefit(self, candidates: np.ndarray) -> int | None:
+        """The LFS cost-benefit score: ``(1 - u) * age / (1 + u)`` with
+        utilisation ``u`` = valid fraction and age = time since the
+        block was retired.  Old cold blocks win even at moderate
+        utilisation; freshly written hot blocks are left to decay."""
+        ppb = self.geometry.pages_per_block
+        utilisation = self._valid.astype(np.float64) / ppb
+        age = (self._sequence - self._retired_at).astype(np.float64) + 1.0
+        score = (1.0 - utilisation) * age / (1.0 + utilisation)
+        score = np.where(candidates, score, -1.0)
+        victim = int(score.argmax())
+        if score[victim] <= 0.0:
+            return None
+        return victim
+
+    def _collect_one(self, cost: CostAccumulator) -> bool:
+        victim = self._pick_victim()
+        if victim is None:
+            return False
+        self._relocate_block(victim, cost)
+        self.gc_collections += 1
+        cost.note("gc")
+        return True
+
+    def _relocate_block(self, victim: int, cost: CostAccumulator) -> None:
+        """Copy a block's valid pages to the GC active block, then erase."""
+        ppb = self.geometry.pages_per_block
+        base = victim * ppb
+        for offset in range(self.chip.write_point(victim)):
+            lpage = int(self._p2l[base + offset])
+            if lpage < 0:
+                continue
+            token = self.chip.read(victim, offset)
+            cost.copy_reads += 1
+            self._invalidate(lpage)
+            self._append(lpage, token, host=False, cost=cost)
+            cost.copy_programs += 1
+        self.chip.erase(victim)
+        cost.block_erases += 1
+        self._valid[victim] = 0
+        self._state[victim] = _FREE
+        self._free.append(victim)
+
+    # ------------------------------------------------------------------
+    # wear levelling
+    # ------------------------------------------------------------------
+
+    def _maybe_wear_level(self, cost: CostAccumulator) -> None:
+        counts = self.chip.erase_counts()
+        data_mask = self._state == _DATA
+        if not data_mask.any():
+            return
+        coldest = int(np.where(data_mask, counts, np.iinfo(np.int64).max).argmin())
+        spread = float(counts.max() - counts[coldest])
+        if spread > self.config.wear_threshold:
+            self._relocate_block(coldest, cost)
+            self.wear_relocations += 1
+            cost.note("wear-level")
+
+    # ------------------------------------------------------------------
+    # background GC
+    # ------------------------------------------------------------------
+
+    def background_work_pending(self) -> bool:
+        """Whether the free pool sits below the background target."""
+        if not self.config.bg_enabled:
+            return False
+        if len(self._free) >= self.config.bg_target_blocks:
+            return False
+        return bool((self._state == _DATA).any())
+
+    def do_background_unit(self) -> CostAccumulator | None:
+        """Collect one victim in the background; None when satisfied."""
+        if not self.background_work_pending():
+            return None
+        cost = CostAccumulator()
+        self._collect_one(cost)
+        return cost
+
+    # ------------------------------------------------------------------
+    # introspection & invariants
+    # ------------------------------------------------------------------
+
+    def free_blocks(self) -> int:
+        """Number of erased, unassigned physical blocks."""
+        return len(self._free)
+
+    def check_invariants(self) -> None:
+        """Verify map/inverse-map agreement, valid counters and block states."""
+        ppb = self.geometry.pages_per_block
+        if sorted(self._free) != sorted(np.flatnonzero(self._state == _FREE).tolist()):
+            raise FTLError("free queue out of sync with block states")
+        mapped = self._l2p[self._l2p >= 0]
+        if len(np.unique(mapped)) != len(mapped):
+            raise FTLError("two logical pages map to one physical page")
+        for lpage in np.flatnonzero(self._l2p >= 0):
+            ppage = int(self._l2p[lpage])
+            if int(self._p2l[ppage]) != int(lpage):
+                raise FTLError(f"direct/inverse map mismatch at lpage {lpage}")
+        valid_recount = np.bincount(
+            (mapped // ppb).astype(np.int64),
+            minlength=self.geometry.physical_blocks,
+        )
+        if not np.array_equal(valid_recount, self._valid.astype(np.int64)):
+            raise FTLError("per-block valid counters out of sync with the map")
+        total = self.geometry.physical_blocks
+        nfree = int((self._state == _FREE).sum())
+        nactive = int((self._state == _ACTIVE).sum())
+        ndata = int((self._state == _DATA).sum())
+        if nfree + nactive + ndata != total:
+            raise FTLError("block state partition violated")
+        if nactive != 2:
+            raise FTLError(f"expected 2 active blocks (host + GC), found {nactive}")

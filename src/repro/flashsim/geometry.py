@@ -1,0 +1,160 @@
+"""Physical geometry of a simulated flash device.
+
+A flash device is made of NAND chips; each chip is an array of *blocks*;
+each block is a column of *pages* programmed strictly in order; pages may
+be sub-addressed in 512-byte *sectors* (Section 2.1 of the paper).  The
+erase unit is the block, the program/read unit is the page.
+
+:class:`Geometry` is a frozen value object shared by the chip model, the
+FTLs and the controller.  All addresses are in **bytes** at the host
+interface and in **page / block indexes** inside the device.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import GeometryError
+from repro.units import KIB, MIB, SECTOR
+
+
+@dataclass(frozen=True)
+class Geometry:
+    """Immutable flash geometry.
+
+    Parameters
+    ----------
+    page_size:
+        Data bytes per flash page (the 64-byte spare/ECC area of real
+        chips is modelled as part of the timing, not the address space).
+    pages_per_block:
+        Pages per erase block (typically 64).
+    logical_bytes:
+        Capacity exposed at the block-device interface.
+    physical_blocks:
+        Total erase blocks actually present.  Must provide at least the
+        logical capacity; the excess is the FTL's overprovisioning.
+    planes:
+        Number of planes (even/odd block parallelism, Section 2.1).
+    """
+
+    page_size: int = 2 * KIB
+    pages_per_block: int = 64
+    logical_bytes: int = 64 * MIB
+    physical_blocks: int = 0
+    planes: int = 1
+
+    def __post_init__(self) -> None:
+        if self.page_size <= 0 or self.page_size % SECTOR != 0:
+            raise GeometryError(
+                f"page_size must be a positive multiple of {SECTOR}, got {self.page_size}"
+            )
+        if self.pages_per_block <= 0:
+            raise GeometryError("pages_per_block must be positive")
+        if self.logical_bytes <= 0 or self.logical_bytes % self.block_size != 0:
+            raise GeometryError(
+                "logical_bytes must be a positive multiple of the block size "
+                f"({self.block_size}), got {self.logical_bytes}"
+            )
+        if self.planes not in (1, 2):
+            raise GeometryError("planes must be 1 or 2")
+        if self.physical_blocks == 0:
+            # Default: 7% overprovisioning, rounded up to whole blocks.
+            object.__setattr__(
+                self,
+                "physical_blocks",
+                self.logical_blocks + max(2, (self.logical_blocks * 7 + 99) // 100),
+            )
+        if self.physical_blocks < self.logical_blocks + 1:
+            raise GeometryError(
+                "physical_blocks must exceed logical blocks (the FTL needs at "
+                f"least one spare block): {self.physical_blocks} <= {self.logical_blocks}"
+            )
+
+    # --- derived quantities ---------------------------------------------
+
+    @property
+    def block_size(self) -> int:
+        """Bytes per erase block."""
+        return self.page_size * self.pages_per_block
+
+    @property
+    def logical_blocks(self) -> int:
+        """Number of logical (host-visible) erase-block-sized units."""
+        return self.logical_bytes // self.block_size
+
+    @property
+    def logical_pages(self) -> int:
+        """Number of logical pages exposed to the host."""
+        return self.logical_bytes // self.page_size
+
+    @property
+    def physical_pages(self) -> int:
+        """Total physical pages on the chips."""
+        return self.physical_blocks * self.pages_per_block
+
+    @property
+    def physical_bytes(self) -> int:
+        """Raw capacity of the chips in bytes."""
+        return self.physical_blocks * self.block_size
+
+    @property
+    def spare_blocks(self) -> int:
+        """Overprovisioned blocks (physical minus logical)."""
+        return self.physical_blocks - self.logical_blocks
+
+    @property
+    def spare_bytes(self) -> int:
+        """Overprovisioned capacity in bytes."""
+        return self.spare_blocks * self.block_size
+
+    @property
+    def sectors_per_page(self) -> int:
+        """512-byte sectors per flash page."""
+        return self.page_size // SECTOR
+
+    # --- address arithmetic -----------------------------------------------
+
+    def page_of_byte(self, byte_addr: int) -> int:
+        """Logical page index containing a byte address."""
+        return byte_addr // self.page_size
+
+    def page_span(self, byte_addr: int, nbytes: int) -> range:
+        """Range of logical page indexes touched by ``[byte_addr, +nbytes)``.
+
+        An unaligned IO straddles one extra page per misaligned boundary —
+        this is the physical root of the Alignment micro-benchmark's
+        penalty.
+        """
+        if nbytes <= 0:
+            raise GeometryError("page_span requires a positive byte count")
+        first = byte_addr // self.page_size
+        last = (byte_addr + nbytes - 1) // self.page_size
+        return range(first, last + 1)
+
+    def block_of_page(self, page: int) -> int:
+        """Block index containing a physical or logical page index."""
+        return page // self.pages_per_block
+
+    def page_offset_in_block(self, page: int) -> int:
+        """Offset of a page within its block (0-based)."""
+        return page % self.pages_per_block
+
+    def first_page_of_block(self, block: int) -> int:
+        """Index of a block's first page."""
+        return block * self.pages_per_block
+
+    def contains(self, byte_addr: int, nbytes: int = 1) -> bool:
+        """Whether ``[byte_addr, +nbytes)`` lies in the logical space."""
+        return 0 <= byte_addr and byte_addr + nbytes <= self.logical_bytes
+
+    def describe(self) -> str:
+        """Human-readable one-line geometry summary."""
+        from repro.units import fmt_size
+
+        return (
+            f"{fmt_size(self.logical_bytes)} logical / "
+            f"{fmt_size(self.physical_bytes)} physical, "
+            f"{fmt_size(self.page_size)} pages x {self.pages_per_block}/block, "
+            f"{self.spare_blocks} spare blocks, {self.planes} plane(s)"
+        )

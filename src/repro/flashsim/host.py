@@ -1,0 +1,127 @@
+"""Host-side IO submission model.
+
+The paper submits IOs with **direct, synchronous** system calls so the
+file system and disk scheduler cannot reorder or coalesce them
+(Section 4.3).  The simulated equivalents:
+
+* :class:`SyncHost` — one thread of control; each IO is submitted when
+  the pattern's timing function says so and the host blocks until it
+  completes.  ``os_overhead_usec`` models the system-call cost the
+  paper cannot avoid even with direct IO.
+
+* :class:`ParallelHost` — the Parallelism micro-benchmark's
+  ``ParallelDegree`` concurrent processes, each running its own
+  pattern.  An event loop always advances the process with the earliest
+  next submission time; the device itself remains a single queue, so
+  concurrent IOs serialise and each process observes queueing delay in
+  its response times.  This is the machinery behind the paper's finding
+  that parallel IO does not help flash devices (Hint 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator, Sequence
+
+from repro.flashsim.device import FlashDevice
+from repro.iotypes import CompletedIO, IORequest
+
+#: a pattern feed: given the previous completion (None at the start),
+#: yields the next request or None when the pattern is exhausted.
+RequestFeed = Callable[[CompletedIO | None], IORequest | None]
+
+
+@dataclass
+class SyncHost:
+    """Synchronous, direct-IO submission from a single process."""
+
+    device: FlashDevice
+    os_overhead_usec: float = 0.0
+
+    def run(self, feed: RequestFeed, start_at: float = 0.0) -> list[CompletedIO]:
+        """Drive a feed to exhaustion; returns completions in order."""
+        completions: list[CompletedIO] = []
+        previous: CompletedIO | None = None
+        clock = start_at
+        while True:
+            request = feed(previous)
+            if request is None:
+                break
+            submit_at = max(clock, request.scheduled_at)
+            completed = self.device.submit(request, submit_at + self.os_overhead_usec)
+            completions.append(completed)
+            clock = completed.completed_at
+            previous = completed
+        return completions
+
+
+@dataclass
+class _Process:
+    """One concurrent pattern stream inside :class:`ParallelHost`."""
+
+    feed: RequestFeed
+    next_request: IORequest | None
+    completions: list[CompletedIO]
+    blocked_until: float
+
+
+class ParallelHost:
+    """``ParallelDegree`` processes issuing synchronous IO concurrently.
+
+    Each process blocks on its own outstanding IO; the device serialises
+    service.  The loop picks, among ready processes, the one whose next
+    IO has the earliest effective submission time (ties broken by
+    process index, round-robin fair).
+    """
+
+    def __init__(self, device: FlashDevice, os_overhead_usec: float = 0.0) -> None:
+        self.device = device
+        self.os_overhead_usec = os_overhead_usec
+
+    def run(
+        self, feeds: Sequence[RequestFeed], start_at: float = 0.0
+    ) -> list[list[CompletedIO]]:
+        """Run all feeds concurrently; returns per-process completions."""
+        processes = []
+        for feed in feeds:
+            first = feed(None)
+            processes.append(
+                _Process(
+                    feed=feed,
+                    next_request=first,
+                    completions=[],
+                    blocked_until=start_at,
+                )
+            )
+        while True:
+            best: _Process | None = None
+            best_time = float("inf")
+            for process in processes:
+                if process.next_request is None:
+                    continue
+                ready_at = max(
+                    process.blocked_until, process.next_request.scheduled_at
+                )
+                if ready_at < best_time:
+                    best_time = ready_at
+                    best = process
+            if best is None:
+                return [process.completions for process in processes]
+            request = best.next_request
+            assert request is not None
+            completed = self.device.submit(
+                request, best_time + self.os_overhead_usec
+            )
+            best.completions.append(completed)
+            best.blocked_until = completed.completed_at
+            best.next_request = best.feed(completed)
+
+
+def feed_from_iterable(requests: Sequence[IORequest]) -> RequestFeed:
+    """Adapt a pre-built request list into a feed (ignores feedback)."""
+    iterator: Iterator[IORequest] = iter(requests)
+
+    def feed(_previous: CompletedIO | None) -> IORequest | None:
+        return next(iterator, None)
+
+    return feed

@@ -1,0 +1,137 @@
+"""Per-operation energy model (the paper's footnote 1: *measuring power
+consumption, however, should be considered in future work*).
+
+Energy decomposes the same way response time does: per flash operation
+(read / program / erase), per byte moved over the interconnect, plus
+the controller's static draw while the device is busy.  The per-op
+figures default to datasheet-typical values for 2008-era NAND
+(~microjoule-class page operations).
+
+The model prices a :class:`~repro.flashsim.timing.CostAccumulator` —
+i.e. exactly the physical work the FTL counted — so energy accounting
+needs no second bookkeeping path through the simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.flashsim.timing import CostAccumulator
+from repro.units import KIB
+
+
+@dataclass(frozen=True)
+class PowerSpec:
+    """Energy parameters, in microjoules (uJ) and milliwatts (mW).
+
+    ``controller_active_mw`` is the draw while the device services IO
+    (priced per busy microsecond); ``controller_idle_mw`` prices idle
+    time when a caller accounts for it explicitly.
+    """
+
+    read_page_uj: float = 6.0
+    program_page_uj: float = 35.0
+    erase_block_uj: float = 65.0
+    transfer_per_kib_uj: float = 1.2
+    controller_active_mw: float = 350.0
+    controller_idle_mw: float = 75.0
+
+    def __post_init__(self) -> None:
+        values = (
+            self.read_page_uj,
+            self.program_page_uj,
+            self.erase_block_uj,
+            self.transfer_per_kib_uj,
+            self.controller_active_mw,
+            self.controller_idle_mw,
+        )
+        if min(values) < 0:
+            raise ValueError("power parameters must be non-negative")
+
+    # mW x us = nJ; divide by 1000 for uJ
+    def active_uj(self, busy_usec: float) -> float:
+        """Controller energy for ``busy_usec`` of active time."""
+        return self.controller_active_mw * busy_usec / 1000.0
+
+    def idle_uj(self, idle_usec: float) -> float:
+        """Controller energy for ``idle_usec`` of idle time."""
+        return self.controller_idle_mw * idle_usec / 1000.0
+
+    def flash_uj(self, cost: CostAccumulator) -> float:
+        """Energy of the flash operations recorded in ``cost``."""
+        return (
+            (cost.page_reads + cost.copy_reads) * self.read_page_uj
+            + (cost.page_programs + cost.copy_programs) * self.program_page_uj
+            + cost.block_erases * self.erase_block_uj
+            + (cost.bytes_transferred / KIB) * self.transfer_per_kib_uj
+        )
+
+    def io_uj(self, cost: CostAccumulator, service_usec: float) -> float:
+        """Total energy of one serviced IO: flash work + active draw."""
+        return self.flash_uj(cost) + self.active_uj(service_usec)
+
+
+#: a generic SLC-era spec; MLC programs and erases draw more
+SLC_POWER = PowerSpec()
+MLC_POWER = PowerSpec(
+    read_page_uj=9.0,
+    program_page_uj=55.0,
+    erase_block_uj=90.0,
+)
+
+
+@dataclass
+class EnergyMeter:
+    """Accumulates the energy of a sequence of completed IOs.
+
+    Usage::
+
+        meter = EnergyMeter(SLC_POWER)
+        for completed in run.trace:
+            meter.add(completed.cost, completed.service_usec)
+        print(meter.total_uj, meter.uj_per_mib(run_bytes))
+    """
+
+    spec: PowerSpec
+    total_uj: float = 0.0
+    ios: int = 0
+    busy_usec: float = 0.0
+
+    def add(self, cost: CostAccumulator, service_usec: float) -> float:
+        """Account one IO; returns its energy in uJ."""
+        energy = self.spec.io_uj(cost, service_usec)
+        self.total_uj += energy
+        self.ios += 1
+        self.busy_usec += service_usec
+        return energy
+
+    def add_idle(self, idle_usec: float) -> float:
+        """Account an idle gap (no flash work, idle draw only)."""
+        energy = self.spec.idle_uj(idle_usec)
+        self.total_uj += energy
+        return energy
+
+    @property
+    def mean_uj_per_io(self) -> float:
+        """Average energy per accounted IO (uJ)."""
+        return self.total_uj / self.ios if self.ios else 0.0
+
+    def uj_per_mib(self, total_bytes: int) -> float:
+        """Energy efficiency: microjoules per MiB moved."""
+        if total_bytes <= 0:
+            return 0.0
+        return self.total_uj / (total_bytes / (1024 * KIB))
+
+    def watts(self, span_usec: float) -> float:
+        """Average power over a simulated time span (W)."""
+        if span_usec <= 0:
+            return 0.0
+        return self.total_uj / span_usec  # uJ/us == W
+
+
+def measure_run_energy(trace, spec: PowerSpec) -> EnergyMeter:
+    """Meter a whole :class:`~repro.flashsim.trace.IOTrace`."""
+    meter = EnergyMeter(spec)
+    for completed in trace:
+        meter.add(completed.cost, completed.service_usec)
+    return meter

@@ -1,0 +1,548 @@
+"""Device profiles: the eleven flash devices of Table 2 (plus one extra).
+
+Each profile assembles geometry, timing and FTL mechanisms so that the
+simulated device lands near its Table 3 row at 32 KiB:
+
+========================  ====  ====  ====  =====  ==========  ==========
+device                    SR    RR    SW    RW     locality    partitions
+                          (ms)  (ms)  (ms)  (ms)   (MB)
+========================  ====  ====  ====  =====  ==========  ==========
+Memoright (SSD)           0.3   0.4   0.3   5      8 (=)       8 (=)
+Mtron (SSD)               0.4   0.5   0.4   9      8 (x2)      4 (x1.5)
+Samsung (SSD)             0.5   0.5   0.6   18     16 (x1.5)   4 (x2)
+Transcend Module (IDE)    1.2   1.3   1.7   18     4 (x2)      4 (x2)
+Transcend MLC (SSD)       1.4   3.0   2.6   233    4 (=)       4 (x2)
+Kingston DTHX (USB)       1.3   1.5   1.8   270    16 (x20)    8 (x20)
+Kingston DTI (USB)        1.9   2.2   2.9   256    No          4 (x5)
+========================  ====  ====  ====  =====  ==========  ==========
+
+Capacities are **scaled** (Section 2 of DESIGN.md): page/block geometry
+and the behavioural resources (log pool, RAM cache, background target)
+keep their absolute sizes, so locality areas, partition limits and
+start-up lengths are preserved while whole-device state enforcement
+stays tractable in Python.
+
+How each Table 3 column maps to profile knobs:
+
+* *locality area* ≈ ``log_blocks`` x block size (the set of blocks whose
+  logs stay resident) — or the RAM cache for cache-dominated devices;
+* *partition limit* ≈ RAM cache capacity in blocks (cache devices),
+  ``log_blocks`` (no cache) or ``replacement_slots`` (block-mapped);
+* *start-up length* ≈ cache fill + background free-pool headroom;
+* *Pause effect / Figure 5 interference* — only profiles with
+  ``bg_enabled`` (the two high-end SLC SSDs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.errors import ProfileError
+from repro.flashsim.chip import FlashChip, FaultInjector, MLC_ENDURANCE, SLC_ENDURANCE
+from repro.flashsim.controller import Controller, ControllerConfig
+from repro.flashsim.device import BackgroundPolicy, FlashDevice, NoiseSpec
+from repro.flashsim.ftl.base import BaseFTL
+from repro.flashsim.ftl.blockmap import BlockMapConfig, BlockMapFTL
+from repro.flashsim.ftl.fast import FastConfig, FastFTL
+from repro.flashsim.ftl.hybrid import HybridConfig, HybridLogFTL
+from repro.flashsim.ftl.pagemap import PageMapConfig, PageMapFTL
+from repro.flashsim.geometry import Geometry
+from repro.flashsim.timing import TimingSpec
+from repro.units import GIB, KIB, MIB
+
+
+@dataclass(frozen=True)
+class DeviceProfile:
+    """A buildable description of one benchmarked device."""
+
+    name: str
+    brand: str
+    model: str
+    kind: str  # "SSD" | "USB" | "SD" | "IDE"
+    real_capacity: int
+    price_usd: int
+    highlighted: bool  # arrow in Table 2: presented in the paper's results
+    sim_logical_bytes: int
+    page_size: int
+    pages_per_block: int
+    spare_blocks: int
+    timing: TimingSpec
+    ftl_kind: str  # "hybrid" | "blockmap" | "pagemap" | "fast"
+    hybrid: HybridConfig | None = None
+    blockmap: BlockMapConfig | None = None
+    pagemap: PageMapConfig | None = None
+    fast: FastConfig | None = None
+    controller: ControllerConfig = field(default_factory=ControllerConfig)
+    background: BackgroundPolicy = field(default_factory=BackgroundPolicy)
+    noise: NoiseSpec = field(default_factory=NoiseSpec)
+    slc: bool = True
+
+    @property
+    def block_size(self) -> int:
+        """Erase-block size in bytes."""
+        return self.page_size * self.pages_per_block
+
+    def geometry(self, logical_bytes: int | None = None) -> Geometry:
+        """Build the profile's geometry (optionally at an override capacity)."""
+        logical = logical_bytes or self.sim_logical_bytes
+        return Geometry(
+            page_size=self.page_size,
+            pages_per_block=self.pages_per_block,
+            logical_bytes=logical,
+            physical_blocks=logical // self.block_size + self.spare_blocks,
+        )
+
+    def build(
+        self,
+        logical_bytes: int | None = None,
+        fault_injector: FaultInjector | None = None,
+    ) -> FlashDevice:
+        """Instantiate a fresh (out-of-the-box) simulated device."""
+        geometry = self.geometry(logical_bytes)
+        endurance = SLC_ENDURANCE if self.slc else MLC_ENDURANCE
+        chip = FlashChip(geometry, endurance=endurance, fault_injector=fault_injector)
+        ftl = self._build_ftl(geometry, chip)
+        controller = Controller(geometry, ftl, self.controller)
+        return FlashDevice(
+            name=self.name,
+            geometry=geometry,
+            timing=self.timing,
+            chip=chip,
+            ftl=ftl,
+            controller=controller,
+            background=self.background,
+            noise=self.noise,
+        )
+
+    def _build_ftl(self, geometry: Geometry, chip: FlashChip) -> BaseFTL:
+        if self.ftl_kind == "hybrid":
+            return HybridLogFTL(geometry, chip, self.hybrid)
+        if self.ftl_kind == "blockmap":
+            return BlockMapFTL(geometry, chip, self.blockmap)
+        if self.ftl_kind == "pagemap":
+            return PageMapFTL(geometry, chip, self.pagemap)
+        if self.ftl_kind == "fast":
+            return FastFTL(geometry, chip, self.fast)
+        raise ProfileError(f"unknown FTL kind {self.ftl_kind!r}")
+
+
+def _ssd_geometry() -> dict:
+    return {"page_size": 4 * KIB, "pages_per_block": 64}  # 256 KiB blocks
+
+
+def _usb_geometry(pages_per_block: int = 128) -> dict:
+    return {"page_size": 2 * KIB, "pages_per_block": pages_per_block}
+
+
+MEMORIGHT = DeviceProfile(
+    name="memoright",
+    brand="Memoright",
+    model="MR25.2-032S",
+    kind="SSD",
+    real_capacity=32 * GIB,
+    price_usd=943,
+    highlighted=True,
+    sim_logical_bytes=128 * MIB,
+    spare_blocks=40 + 64 + 8,
+    timing=TimingSpec(
+        read_page=25.0,
+        program_page=200.0,
+        erase_block=1_500.0,
+        transfer_per_kib=6.0,
+        controller_overhead=50.0,
+        map_miss=115.0,
+        parallelism=16.0,
+        copy_parallelism=4.0,
+    ),
+    ftl_kind="hybrid",
+    hybrid=HybridConfig(
+        seq_log_blocks=8,
+        rnd_log_blocks=32,
+        page_mapped_logs=True,
+        bg_enabled=True,
+        bg_target_blocks=64,
+    ),
+    controller=ControllerConfig(cache_bytes=2 * MIB),
+    background=BackgroundPolicy(read_concurrency=0.5, read_interference=1.5),
+    slc=True,
+    **_ssd_geometry(),
+)
+
+MTRON = DeviceProfile(
+    name="mtron",
+    brand="Mtron",
+    model="SATA7035-016",
+    kind="SSD",
+    real_capacity=16 * GIB,
+    price_usd=407,
+    highlighted=True,
+    sim_logical_bytes=128 * MIB,
+    spare_blocks=36 + 96 + 8,
+    timing=TimingSpec(
+        read_page=25.0,
+        program_page=200.0,
+        erase_block=1_500.0,
+        transfer_per_kib=8.0,
+        controller_overhead=80.0,
+        map_miss=115.0,
+        parallelism=16.0,
+        copy_parallelism=2.0,
+    ),
+    ftl_kind="hybrid",
+    hybrid=HybridConfig(
+        seq_log_blocks=4,
+        rnd_log_blocks=32,
+        page_mapped_logs=True,
+        bg_enabled=True,
+        bg_target_blocks=96,
+    ),
+    controller=ControllerConfig(cache_bytes=1 * MIB),
+    background=BackgroundPolicy(read_concurrency=0.5, read_interference=1.6),
+    slc=True,
+    **_ssd_geometry(),
+)
+
+SAMSUNG = DeviceProfile(
+    name="samsung",
+    brand="Samsung",
+    model="MCBQE32G5MPP",
+    kind="SSD",
+    real_capacity=32 * GIB,
+    price_usd=517,
+    highlighted=True,
+    sim_logical_bytes=128 * MIB,
+    spare_blocks=68 + 8,
+    timing=TimingSpec(
+        read_page=60.0,
+        program_page=800.0,
+        erase_block=2_500.0,
+        transfer_per_kib=12.0,
+        controller_overhead=90.0,
+        map_miss=120.0,
+        parallelism=32.0,
+        copy_parallelism=4.0,
+    ),
+    ftl_kind="hybrid",
+    hybrid=HybridConfig(seq_log_blocks=4, rnd_log_blocks=64, page_mapped_logs=True),
+    controller=ControllerConfig(cache_bytes=1 * MIB, mapping_unit=16 * KIB),
+    slc=False,
+    **_ssd_geometry(),
+)
+
+GSKILL = DeviceProfile(
+    name="gskill",
+    brand="GSKILL",
+    model="FS-25S2-32GB",
+    kind="SSD",
+    real_capacity=32 * GIB,
+    price_usd=694,
+    highlighted=False,
+    sim_logical_bytes=128 * MIB,
+    spare_blocks=36 + 8,
+    timing=TimingSpec(
+        read_page=60.0,
+        program_page=800.0,
+        erase_block=2_500.0,
+        transfer_per_kib=10.0,
+        controller_overhead=100.0,
+        map_miss=130.0,
+        parallelism=16.0,
+        copy_parallelism=2.0,
+    ),
+    ftl_kind="hybrid",
+    hybrid=HybridConfig(seq_log_blocks=4, rnd_log_blocks=16, page_mapped_logs=True),
+    slc=False,
+    **_ssd_geometry(),
+)
+
+TRANSCEND_16 = DeviceProfile(
+    name="transcend16",
+    brand="Transcend",
+    model="TS16GSSD25S-S",
+    kind="SSD",
+    real_capacity=16 * GIB,
+    price_usd=250,
+    highlighted=False,
+    sim_logical_bytes=128 * MIB,
+    spare_blocks=22 + 8,
+    timing=TimingSpec(
+        read_page=25.0,
+        program_page=220.0,
+        erase_block=1_500.0,
+        transfer_per_kib=14.0,
+        controller_overhead=120.0,
+        map_miss=200.0,
+        parallelism=8.0,
+        copy_parallelism=1.0,
+    ),
+    ftl_kind="hybrid",
+    hybrid=HybridConfig(seq_log_blocks=4, rnd_log_blocks=16, page_mapped_logs=True),
+    slc=True,
+    **_ssd_geometry(),
+)
+
+TRANSCEND_32 = DeviceProfile(
+    name="transcend32",
+    brand="Transcend",
+    model="TS32GSSD25S-M",
+    kind="SSD",
+    real_capacity=32 * GIB,
+    price_usd=199,
+    highlighted=True,
+    sim_logical_bytes=64 * MIB,
+    spare_blocks=22 + 6,
+    timing=TimingSpec(
+        read_page=60.0,
+        program_page=800.0,
+        erase_block=2_500.0,
+        transfer_per_kib=30.0,
+        controller_overhead=150.0,
+        map_miss=1_550.0,
+        parallelism=8.0,
+        copy_parallelism=1.0,
+        copy_page_extra=940.0,
+    ),
+    ftl_kind="hybrid",
+    hybrid=HybridConfig(seq_log_blocks=4, rnd_log_blocks=16, page_mapped_logs=True),
+    slc=False,
+    **_usb_geometry(pages_per_block=128),
+)
+
+KINGSTON_DTHX = DeviceProfile(
+    name="kingston_dthx",
+    brand="Kingston",
+    model="DT hyper X",
+    kind="USB",
+    real_capacity=8 * GIB,
+    price_usd=153,
+    highlighted=True,
+    sim_logical_bytes=64 * MIB,
+    spare_blocks=74 + 6,
+    timing=TimingSpec(
+        read_page=60.0,
+        program_page=800.0,
+        erase_block=2_500.0,
+        transfer_per_kib=20.0,
+        controller_overhead=180.0,
+        map_miss=200.0,
+        parallelism=12.0,
+        copy_parallelism=1.0,
+        copy_page_extra=1_180.0,
+    ),
+    ftl_kind="hybrid",
+    hybrid=HybridConfig(seq_log_blocks=8, rnd_log_blocks=64, page_mapped_logs=True),
+    slc=False,
+    **_usb_geometry(pages_per_block=128),
+)
+
+CORSAIR = DeviceProfile(
+    name="corsair",
+    brand="Corsair",
+    model="Flash Voyager GT",
+    kind="USB",
+    real_capacity=16 * GIB,
+    price_usd=110,
+    highlighted=False,
+    sim_logical_bytes=64 * MIB,
+    spare_blocks=12 + 6,
+    timing=TimingSpec(
+        read_page=60.0,
+        program_page=800.0,
+        erase_block=2_500.0,
+        transfer_per_kib=25.0,
+        controller_overhead=200.0,
+        map_miss=250.0,
+        parallelism=8.0,
+        copy_parallelism=1.0,
+        copy_page_extra=600.0,
+    ),
+    ftl_kind="hybrid",
+    hybrid=HybridConfig(seq_log_blocks=2, rnd_log_blocks=8, page_mapped_logs=False),
+    slc=False,
+    **_usb_geometry(pages_per_block=64),
+)
+
+TRANSCEND_MODULE = DeviceProfile(
+    name="transcend_module",
+    brand="Transcend",
+    model="TS4GDOM40V-S",
+    kind="IDE",
+    real_capacity=4 * GIB,
+    price_usd=62,
+    highlighted=True,
+    sim_logical_bytes=64 * MIB,
+    spare_blocks=38 + 6,
+    timing=TimingSpec(
+        read_page=25.0,
+        program_page=220.0,
+        erase_block=1_500.0,
+        transfer_per_kib=25.0,
+        controller_overhead=150.0,
+        map_miss=150.0,
+        parallelism=4.0,
+        copy_parallelism=1.0,
+    ),
+    ftl_kind="hybrid",
+    hybrid=HybridConfig(seq_log_blocks=4, rnd_log_blocks=32, page_mapped_logs=True),
+    slc=True,
+    **_usb_geometry(pages_per_block=64),
+)
+
+KINGSTON_DTI = DeviceProfile(
+    name="kingston_dti",
+    brand="Kingston",
+    model="DTI 4GB",
+    kind="USB",
+    real_capacity=4 * GIB,
+    price_usd=17,
+    highlighted=True,
+    sim_logical_bytes=32 * MIB,
+    spare_blocks=4 + 4,
+    timing=TimingSpec(
+        read_page=60.0,
+        program_page=800.0,
+        erase_block=2_500.0,
+        transfer_per_kib=38.0,
+        controller_overhead=200.0,
+        map_miss=300.0,
+        parallelism=8.0,
+        copy_parallelism=1.0,
+        copy_page_extra=1_150.0,
+    ),
+    ftl_kind="blockmap",
+    blockmap=BlockMapConfig(
+        replacement_slots=4,
+        sync_commit_boundary=32 * KIB,
+        map_flush_every_blocks=16,
+        map_flush_pages=32,
+    ),
+    slc=False,
+    **_usb_geometry(pages_per_block=128),
+)
+
+KINGSTON_SD = DeviceProfile(
+    name="kingston_sd",
+    brand="Kingston",
+    model="SD 4GB",
+    kind="SD",
+    real_capacity=2 * GIB,
+    price_usd=12,
+    highlighted=False,
+    sim_logical_bytes=32 * MIB,
+    spare_blocks=1 + 4,
+    timing=TimingSpec(
+        read_page=60.0,
+        program_page=900.0,
+        erase_block=3_000.0,
+        transfer_per_kib=60.0,
+        controller_overhead=300.0,
+        map_miss=400.0,
+        parallelism=4.0,
+        copy_parallelism=1.0,
+        copy_page_extra=1_000.0,
+    ),
+    ftl_kind="blockmap",
+    blockmap=BlockMapConfig(
+        replacement_slots=1,
+        sync_commit_boundary=16 * KIB,
+        map_flush_every_blocks=16,
+        map_flush_pages=32,
+    ),
+    slc=False,
+    **_usb_geometry(pages_per_block=64),
+)
+
+# Not in the paper: an idealised fully page-mapped SSD (what most 2008
+# research assumed devices looked like).  Used by the FTL-ablation bench.
+IDEAL_PAGEMAP = DeviceProfile(
+    name="ideal_pagemap",
+    brand="(synthetic)",
+    model="page-mapped reference",
+    kind="SSD",
+    real_capacity=32 * GIB,
+    price_usd=0,
+    highlighted=False,
+    sim_logical_bytes=128 * MIB,
+    spare_blocks=68 + 8,
+    timing=TimingSpec(
+        read_page=25.0,
+        program_page=200.0,
+        erase_block=1_500.0,
+        transfer_per_kib=6.0,
+        controller_overhead=50.0,
+        map_miss=115.0,
+        parallelism=16.0,
+        copy_parallelism=4.0,
+    ),
+    ftl_kind="pagemap",
+    pagemap=PageMapConfig(gc_low_blocks=4, bg_enabled=True, bg_target_blocks=32),
+    background=BackgroundPolicy(read_concurrency=1.0, read_interference=1.3),
+    slc=True,
+    **_ssd_geometry(),
+)
+
+
+#: Table 2 order (by price, descending), plus the synthetic reference.
+ALL_PROFILES: tuple[DeviceProfile, ...] = (
+    MEMORIGHT,
+    GSKILL,
+    SAMSUNG,
+    MTRON,
+    TRANSCEND_16,
+    TRANSCEND_32,
+    KINGSTON_DTHX,
+    CORSAIR,
+    TRANSCEND_MODULE,
+    KINGSTON_DTI,
+    KINGSTON_SD,
+    IDEAL_PAGEMAP,
+)
+
+#: the seven devices the paper presents detailed results for (Table 3)
+TABLE3_PROFILES: tuple[str, ...] = (
+    "memoright",
+    "mtron",
+    "samsung",
+    "transcend_module",
+    "transcend32",
+    "kingston_dthx",
+    "kingston_dti",
+)
+
+_REGISTRY = {profile.name: profile for profile in ALL_PROFILES}
+
+
+def profile_names() -> list[str]:
+    """Names of all registered profiles."""
+    return list(_REGISTRY)
+
+
+def get_profile(name: str) -> DeviceProfile:
+    """Look up a profile by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ProfileError(
+            f"unknown device profile {name!r}; known: {', '.join(_REGISTRY)}"
+        ) from None
+
+
+def build_device(
+    name: str,
+    logical_bytes: int | None = None,
+    fault_injector: FaultInjector | None = None,
+) -> FlashDevice:
+    """Build a fresh device from a named profile.
+
+    ``logical_bytes`` overrides the scaled capacity (tests use smaller
+    devices to keep state enforcement fast).
+    """
+    return get_profile(name).build(logical_bytes, fault_injector)
+
+
+def scaled_profile(profile_name: str, **overrides) -> DeviceProfile:
+    """A copy of a profile with dataclass field overrides (ablations).
+
+    ``overrides`` may include ``name`` to rename the variant.
+    """
+    return replace(get_profile(profile_name), **overrides)

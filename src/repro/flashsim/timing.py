@@ -1,0 +1,185 @@
+"""Timing model for simulated flash devices.
+
+Response time of a host IO decomposes into (Section 2 of the paper):
+
+* a per-IO *controller overhead* — command decode, FTL map lookup, host
+  interface latency (USB vs IDE vs SATA differ wildly here);
+* *bus transfer* time proportional to the number of bytes moved;
+* the *flash operation* times proper: page read, page program, block
+  erase, with SLC chips faster than MLC;
+* optional *map-miss* penalties when the direct map does not fit in
+  controller RAM (Section 2.2).
+
+:class:`TimingSpec` is a frozen value object; :class:`CostAccumulator`
+is the mutable tally the FTL/controller use while servicing one IO.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.units import KIB, MSEC, USEC
+
+
+@dataclass(frozen=True)
+class TimingSpec:
+    """Latency parameters of one device, all in microseconds.
+
+    ``transfer_per_kib`` covers the external interconnect plus the chip
+    bus (serialised, as on a single-channel controller).  ``parallelism``
+    is the effective number of flash operations the controller can overlap
+    (channels x planes actually exploited); flash op time is divided by it
+    for multi-page IOs.
+    """
+
+    read_page: float = 25.0
+    program_page: float = 220.0
+    erase_block: float = 1_500.0
+    transfer_per_kib: float = 20.0
+    controller_overhead: float = 80.0
+    map_miss: float = 0.0
+    parallelism: float = 1.0
+    copy_parallelism: float = 1.0
+    copy_page_extra: float = 0.0
+
+    def __post_init__(self) -> None:
+        if min(
+            self.read_page,
+            self.program_page,
+            self.erase_block,
+            self.transfer_per_kib,
+            self.controller_overhead,
+            self.map_miss,
+        ) < 0 or self.copy_page_extra < 0:
+            raise ValueError("timing parameters must be non-negative")
+        if self.parallelism < 1.0 or self.copy_parallelism < 1.0:
+            raise ValueError("parallelism must be >= 1")
+
+    # -- convenience composite costs --------------------------------------
+
+    def transfer(self, nbytes: int) -> float:
+        """Bus transfer time for ``nbytes``."""
+        return self.transfer_per_kib * (nbytes / KIB)
+
+    def read_pages(self, count: int) -> float:
+        """Flash time to read ``count`` pages, exploiting parallelism."""
+        return self.read_page * count / self.parallelism
+
+    def program_pages(self, count: int) -> float:
+        """Flash time to program ``count`` pages, exploiting parallelism."""
+        return self.program_page * count / self.parallelism
+
+    def erase_blocks(self, count: int) -> float:
+        """Flash time to erase ``count`` blocks (internal path)."""
+        return self.erase_block * count / self.copy_parallelism
+
+    def copy_pages(self, reads: int, programs: int) -> float:
+        """Flash time for internal copies (merges / GC).
+
+        Host IOs stripe across all channels (``parallelism``); internal
+        block merges are confined to one or two chips
+        (``copy_parallelism``) — this asymmetry is why random writes are
+        so much more expensive than the raw page timings suggest.
+        ``copy_page_extra`` adds per-copied-page overhead for cheap
+        controllers that shuffle copyback data through their own RAM.
+        """
+        return (
+            self.read_page * reads
+            + (self.program_page + self.copy_page_extra) * programs
+        ) / self.copy_parallelism
+
+
+# SLC chips: ~25us read, ~220us program, ~1.5ms erase (datasheet-typical
+# for the 2008 era).  MLC chips: slower on every axis, much slower program.
+SLC_TIMING = TimingSpec(
+    read_page=25.0,
+    program_page=220.0,
+    erase_block=1_500.0,
+)
+
+MLC_TIMING = TimingSpec(
+    read_page=60.0,
+    program_page=800.0,
+    erase_block=2_500.0,
+)
+
+
+@dataclass
+class CostAccumulator:
+    """Mutable tally of the flash work done to service one host IO.
+
+    The FTL records raw operation *counts*; :meth:`total` converts them to
+    microseconds with a :class:`TimingSpec`.  Keeping counts (rather than
+    accumulating time directly) makes FTL unit tests independent of the
+    timing calibration and lets traces expose the physical work performed.
+    """
+
+    page_reads: int = 0
+    page_programs: int = 0
+    copy_reads: int = 0
+    copy_programs: int = 0
+    block_erases: int = 0
+    bytes_transferred: int = 0
+    map_misses: int = 0
+    extra_usec: float = 0.0
+    notes: list[str] = field(default_factory=list)
+
+    def add(self, other: "CostAccumulator") -> None:
+        """Fold another accumulator into this one."""
+        self.page_reads += other.page_reads
+        self.page_programs += other.page_programs
+        self.copy_reads += other.copy_reads
+        self.copy_programs += other.copy_programs
+        self.block_erases += other.block_erases
+        self.bytes_transferred += other.bytes_transferred
+        self.map_misses += other.map_misses
+        self.extra_usec += other.extra_usec
+        self.notes.extend(other.notes)
+
+    def note(self, tag: str) -> None:
+        """Record a qualitative event (e.g. ``"full-merge"``) for traces."""
+        self.notes.append(tag)
+
+    def flash_usec(self, timing: TimingSpec) -> float:
+        """Time spent on flash operations alone."""
+        return (
+            timing.read_pages(self.page_reads)
+            + timing.program_pages(self.page_programs)
+            + timing.copy_pages(self.copy_reads, self.copy_programs)
+            + timing.erase_blocks(self.block_erases)
+        )
+
+    def total(self, timing: TimingSpec, include_overhead: bool = True) -> float:
+        """Total service time in microseconds under ``timing``."""
+        usec = (
+            self.flash_usec(timing)
+            + timing.transfer(self.bytes_transferred)
+            + self.map_misses * timing.map_miss
+            + self.extra_usec
+        )
+        if include_overhead:
+            usec += timing.controller_overhead
+        return usec
+
+    def is_empty(self) -> bool:
+        """True when no physical work at all was recorded."""
+        return (
+            self.page_reads == 0
+            and self.page_programs == 0
+            and self.copy_reads == 0
+            and self.copy_programs == 0
+            and self.block_erases == 0
+            and self.bytes_transferred == 0
+            and self.map_misses == 0
+            and self.extra_usec == 0.0
+        )
+
+
+__all__ = [
+    "TimingSpec",
+    "CostAccumulator",
+    "SLC_TIMING",
+    "MLC_TIMING",
+    "USEC",
+    "MSEC",
+]

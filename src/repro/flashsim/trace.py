@@ -1,0 +1,149 @@
+"""Per-IO trace recording.
+
+The paper's design principle 1 (Section 3.2): *for each run, we measure
+and record the response time for individual IOs*.  :class:`IOTrace` is
+that record — one row per IO with its four defining attributes, the
+measured response time and the physical work performed — plus CSV
+round-tripping so results can be archived and re-analysed (the authors
+published tens of millions of data points this way).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.iotypes import CompletedIO, Mode
+
+_FIELDS = (
+    "index",
+    "mode",
+    "lba",
+    "size",
+    "submitted_at",
+    "started_at",
+    "completed_at",
+    "response_usec",
+    "page_reads",
+    "page_programs",
+    "copy_reads",
+    "copy_programs",
+    "block_erases",
+    "notes",
+)
+
+
+@dataclass(frozen=True)
+class TraceRow:
+    """One archived IO (a parsed CSV row)."""
+
+    index: int
+    mode: Mode
+    lba: int
+    size: int
+    submitted_at: float
+    started_at: float
+    completed_at: float
+    response_usec: float
+    page_reads: int
+    page_programs: int
+    copy_reads: int
+    copy_programs: int
+    block_erases: int
+    notes: str
+
+
+class IOTrace:
+    """An append-only sequence of completed IOs."""
+
+    def __init__(self) -> None:
+        self._ios: list[CompletedIO] = []
+
+    def append(self, completed: CompletedIO) -> None:
+        """Record one completed IO."""
+        self._ios.append(completed)
+
+    def extend(self, completed: Iterable[CompletedIO]) -> None:
+        """Record a batch of completed IOs in order."""
+        self._ios.extend(completed)
+
+    def __len__(self) -> int:
+        return len(self._ios)
+
+    def __iter__(self) -> Iterator[CompletedIO]:
+        return iter(self._ios)
+
+    def __getitem__(self, item: int) -> CompletedIO:
+        return self._ios[item]
+
+    def response_times(self) -> list[float]:
+        """Response times in microseconds, in submission order."""
+        return [completed.response_usec for completed in self._ios]
+
+    # ------------------------------------------------------------------
+    # CSV round-trip
+    # ------------------------------------------------------------------
+
+    def to_csv(self, path: str | Path | None = None) -> str:
+        """Serialise to CSV; write to ``path`` when given."""
+        buffer = io.StringIO()
+        writer = csv.writer(buffer, lineterminator="\n")
+        writer.writerow(_FIELDS)
+        for completed in self._ios:
+            request, cost = completed.request, completed.cost
+            writer.writerow(
+                [
+                    request.index,
+                    request.mode.value,
+                    request.lba,
+                    request.size,
+                    f"{completed.submitted_at:.3f}",
+                    f"{completed.started_at:.3f}",
+                    f"{completed.completed_at:.3f}",
+                    f"{completed.response_usec:.3f}",
+                    cost.page_reads,
+                    cost.page_programs,
+                    cost.copy_reads,
+                    cost.copy_programs,
+                    cost.block_erases,
+                    ";".join(cost.notes),
+                ]
+            )
+        text = buffer.getvalue()
+        if path is not None:
+            Path(path).write_text(text)
+        return text
+
+    @staticmethod
+    def parse_csv(text: str) -> list[TraceRow]:
+        """Parse a CSV produced by :meth:`to_csv` into trace rows."""
+        reader = csv.DictReader(io.StringIO(text))
+        rows = []
+        for record in reader:
+            rows.append(
+                TraceRow(
+                    index=int(record["index"]),
+                    mode=Mode(record["mode"]),
+                    lba=int(record["lba"]),
+                    size=int(record["size"]),
+                    submitted_at=float(record["submitted_at"]),
+                    started_at=float(record["started_at"]),
+                    completed_at=float(record["completed_at"]),
+                    response_usec=float(record["response_usec"]),
+                    page_reads=int(record["page_reads"]),
+                    page_programs=int(record["page_programs"]),
+                    copy_reads=int(record["copy_reads"]),
+                    copy_programs=int(record["copy_programs"]),
+                    block_erases=int(record["block_erases"]),
+                    notes=record["notes"],
+                )
+            )
+        return rows
+
+    @staticmethod
+    def load_csv(path: str | Path) -> list[TraceRow]:
+        """Load an archived trace from disk."""
+        return IOTrace.parse_csv(Path(path).read_text())

@@ -1,0 +1,150 @@
+"""Wear statistics and device-lifetime projection.
+
+The paper's footnote 1 rules *aging* out of the benchmark ("reaching
+the erase limit, with wear leveling, may take years") — which is
+exactly what a simulator is free to explore.  This module turns the
+chip's per-block erase counters into wear-quality indicators and
+projects device lifetime under a measured workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import AnalysisError
+from repro.flashsim.device import FlashDevice
+from repro.units import SEC
+
+
+@dataclass(frozen=True)
+class WearReport:
+    """Wear-levelling quality of a device at a point in time."""
+
+    total_erases: int
+    min_erases: int
+    max_erases: int
+    mean_erases: float
+    std_erases: float
+    gini: float
+    endurance: int
+    worst_block_life_used: float  # fraction of the worst block's life spent
+
+    @property
+    def evenness(self) -> float:
+        """1.0 = perfectly even wear; approaches 0 as wear concentrates."""
+        return 1.0 - self.gini
+
+    def summary(self) -> str:
+        """One-line description of the wear state."""
+        return (
+            f"erases total={self.total_erases} "
+            f"min/mean/max={self.min_erases}/{self.mean_erases:.1f}/{self.max_erases} "
+            f"gini={self.gini:.3f} "
+            f"worst-block life used={100 * self.worst_block_life_used:.2f}%"
+        )
+
+
+def _gini(values: np.ndarray) -> float:
+    """Gini coefficient of a non-negative sample (0 = perfectly even)."""
+    if values.size == 0:
+        return 0.0
+    total = float(values.sum())
+    if total == 0:
+        return 0.0
+    sorted_values = np.sort(values.astype(float))
+    ranks = np.arange(1, sorted_values.size + 1)
+    return float(
+        (2.0 * (ranks * sorted_values).sum()) / (sorted_values.size * total)
+        - (sorted_values.size + 1.0) / sorted_values.size
+    )
+
+
+def wear_report(device: FlashDevice) -> WearReport:
+    """Snapshot the wear distribution of a device."""
+    counts = device.chip.erase_counts()
+    endurance = device.chip.endurance
+    return WearReport(
+        total_erases=int(counts.sum()),
+        min_erases=int(counts.min()),
+        max_erases=int(counts.max()),
+        mean_erases=float(counts.mean()),
+        std_erases=float(counts.std()),
+        gini=_gini(counts),
+        endurance=endurance,
+        worst_block_life_used=float(counts.max()) / endurance,
+    )
+
+
+@dataclass(frozen=True)
+class LifetimeProjection:
+    """Extrapolated device lifetime under a measured workload.
+
+    Two horizons: *wall-clock* (``projected_seconds`` — how long the
+    device survives running this workload flat out; fast devices erode
+    faster per second) and *volume* (``projected_bytes`` — how much host
+    data can still be written; this is the speed-independent measure of
+    how wear-friendly a workload is).
+    """
+
+    erases_per_second: float
+    worst_block_erases_per_second: float
+    projected_seconds: float
+    bytes_written: int
+    write_amplification: float
+    projected_bytes: float = float("inf")
+
+    @property
+    def projected_days(self) -> float:
+        """Wall-clock lifetime under the measured workload, in days."""
+        return self.projected_seconds / 86_400.0
+
+    def summary(self) -> str:
+        """One-line description of the projection."""
+        return (
+            f"WA={self.write_amplification:.2f}, "
+            f"{self.erases_per_second:.2f} erases/s "
+            f"-> projected life {self.projected_days:.1f} days "
+            "under this workload"
+        )
+
+
+def project_lifetime(
+    device: FlashDevice,
+    before: WearReport,
+    after: WearReport,
+    elapsed_usec: float,
+    bytes_written: int,
+) -> LifetimeProjection:
+    """Project lifetime from the wear delta of a measured interval.
+
+    The device dies when its most-worn block exhausts its endurance
+    (bad-block sparing is second-order and ignored here); the worst
+    block's observed erase rate drives the projection.
+    """
+    if elapsed_usec <= 0:
+        raise AnalysisError("lifetime projection needs a positive interval")
+    delta_total = after.total_erases - before.total_erases
+    delta_worst = after.max_erases - before.max_erases
+    if delta_total < 0 or delta_worst < 0:
+        raise AnalysisError("wear counters cannot decrease")
+    seconds = elapsed_usec / SEC
+    worst_rate = delta_worst / seconds if seconds > 0 else 0.0
+    remaining = after.endurance - after.max_erases
+    projected = remaining / worst_rate if worst_rate > 0 else float("inf")
+    geometry = device.geometry
+    physical_bytes = delta_total * geometry.block_size
+    amplification = physical_bytes / bytes_written if bytes_written else 0.0
+    worst_per_byte = delta_worst / bytes_written if bytes_written else 0.0
+    projected_bytes = (
+        remaining / worst_per_byte if worst_per_byte > 0 else float("inf")
+    )
+    return LifetimeProjection(
+        erases_per_second=delta_total / seconds,
+        worst_block_erases_per_second=worst_rate,
+        projected_seconds=projected,
+        bytes_written=bytes_written,
+        write_amplification=amplification,
+        projected_bytes=projected_bytes,
+    )

@@ -1,0 +1,86 @@
+"""Shared IO value types.
+
+Defined at the package root so both the device simulator
+(:mod:`repro.flashsim`) and the benchmark layer (:mod:`repro.core`) can
+use them without depending on each other.
+
+An IO is defined by the four attributes of Section 3.1 of the paper:
+submit time ``t(IOi)``, size ``IOSize(IOi)``, location ``LBA(IOi)`` and
+``Mode(IOi)``.  A completed IO additionally carries its measured
+response time ``rt(IOi)`` and the physical work the device performed.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.flashsim.timing import CostAccumulator
+
+
+def _empty_cost() -> "CostAccumulator":
+    # Deferred import: repro.flashsim.device imports this module, so a
+    # module-level import of the timing types would be circular.
+    from repro.flashsim.timing import CostAccumulator
+
+    return CostAccumulator()
+
+
+class Mode(enum.Enum):
+    """IO mode: the constant function of Section 3.1."""
+
+    READ = "read"
+    WRITE = "write"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class IORequest:
+    """One IO of a pattern, before execution.
+
+    ``index`` is the position ``i`` in the pattern; ``scheduled_at`` is
+    ``t(IOi)`` in simulated microseconds.
+    """
+
+    index: int
+    lba: int
+    size: int
+    mode: Mode
+    scheduled_at: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ValueError("IO size must be positive")
+        if self.lba < 0:
+            raise ValueError("LBA must be non-negative")
+
+
+@dataclass(frozen=True)
+class CompletedIO:
+    """One executed IO with its measured timings.
+
+    ``response_usec`` is completion minus submission — it includes any
+    queueing delay behind earlier IOs, which is what a host thread
+    issuing synchronous IO observes (and what makes ParallelDegree > 1
+    unhelpful on flash, Section 5.2).
+    """
+
+    request: IORequest
+    submitted_at: float
+    started_at: float
+    completed_at: float
+    cost: "CostAccumulator" = field(repr=False, default_factory=_empty_cost)
+
+    @property
+    def response_usec(self) -> float:
+        """rt(IOi): completion minus submission, queueing included."""
+        return self.completed_at - self.submitted_at
+
+    @property
+    def service_usec(self) -> float:
+        """Device service time excluding queueing delay."""
+        return self.completed_at - self.started_at

@@ -1,0 +1,106 @@
+"""Size and time units used throughout the reproduction.
+
+The paper mixes KB/MB/GB (binary, as is conventional in the storage
+literature of the era) with milliseconds and microseconds.  Internally the
+simulator uses **bytes** for sizes and addresses and **microseconds**
+(floats) for time.  This module centralises the constants and the
+human-friendly parsing/formatting helpers so no other module hard-codes
+magic numbers.
+"""
+
+from __future__ import annotations
+
+import re
+
+# --- sizes (binary units, matching the paper's usage) -----------------------
+
+SECTOR = 512
+KIB = 1024
+MIB = 1024 * KIB
+GIB = 1024 * MIB
+
+# --- time (internal unit: microseconds) --------------------------------------
+
+USEC = 1.0
+MSEC = 1000.0
+SEC = 1_000_000.0
+
+_SIZE_SUFFIXES = {
+    "": 1,
+    "b": 1,
+    "k": KIB,
+    "kb": KIB,
+    "kib": KIB,
+    "m": MIB,
+    "mb": MIB,
+    "mib": MIB,
+    "g": GIB,
+    "gb": GIB,
+    "gib": GIB,
+}
+
+_SIZE_RE = re.compile(r"^\s*([0-9]+(?:\.[0-9]+)?)\s*([a-zA-Z]*)\s*$")
+
+
+def parse_size(text: str | int) -> int:
+    """Parse a human-readable size such as ``"32K"`` or ``"2MiB"`` to bytes.
+
+    Integers pass through unchanged.  Fractional values are allowed as long
+    as the result is a whole number of bytes (``"0.5K"`` -> 512).
+
+    >>> parse_size("32K")
+    32768
+    >>> parse_size("0.5k")
+    512
+    >>> parse_size(4096)
+    4096
+    """
+    if isinstance(text, int):
+        return text
+    match = _SIZE_RE.match(text)
+    if match is None:
+        raise ValueError(f"unparseable size: {text!r}")
+    value = float(match.group(1)) * _SIZE_SUFFIXES.get(match.group(2).lower(), -1)
+    if value < 0:
+        raise ValueError(f"unknown size suffix in {text!r}")
+    if value != int(value):
+        raise ValueError(f"size {text!r} is not a whole number of bytes")
+    return int(value)
+
+
+def fmt_size(nbytes: int) -> str:
+    """Format a byte count with the largest exact binary unit.
+
+    >>> fmt_size(32768)
+    '32K'
+    >>> fmt_size(512)
+    '512B'
+    >>> fmt_size(3 * MIB)
+    '3M'
+    """
+    for unit, name in ((GIB, "G"), (MIB, "M"), (KIB, "K")):
+        if nbytes >= unit and nbytes % unit == 0:
+            return f"{nbytes // unit}{name}"
+    return f"{nbytes}B"
+
+
+def fmt_usec(usec: float) -> str:
+    """Format a microsecond duration at a human scale.
+
+    >>> fmt_usec(250.0)
+    '250us'
+    >>> fmt_usec(5000.0)
+    '5.00ms'
+    >>> fmt_usec(2_500_000.0)
+    '2.50s'
+    """
+    if usec >= SEC:
+        return f"{usec / SEC:.2f}s"
+    if usec >= MSEC:
+        return f"{usec / MSEC:.2f}ms"
+    return f"{usec:.0f}us"
+
+
+def usec_to_msec(usec: float) -> float:
+    """Convert microseconds to milliseconds (the unit used in the figures)."""
+    return usec / MSEC

@@ -1,0 +1,68 @@
+"""Device classification from Table 3 indicators."""
+
+from repro.analysis.classify import (
+    DeviceTier,
+    classify,
+    price_performance_note,
+)
+from repro.analysis.summarize import DeviceSummary
+
+
+def summary(**kwargs):
+    defaults = dict(
+        name="test",
+        sr=0.3, rr=0.4, sw=0.4, rw=5.0,
+        pause_rw=5.0,
+        locality_mb=8.0, locality_factor=1.0,
+        partitions=8, partitions_factor=1.0,
+        reverse=1.0, in_place=1.0, large_incr=2.0,
+    )
+    defaults.update(kwargs)
+    return DeviceSummary(**defaults)
+
+
+def test_high_end_classification():
+    result = classify(summary())
+    assert result.tier is DeviceTier.HIGH_END
+    assert result.copes_with_unusual
+    assert result.async_reclamation
+    assert any("random writes" in reason for reason in result.reasons)
+
+
+def test_low_end_classification():
+    result = classify(
+        summary(
+            sw=2.9, rw=256.0, pause_rw=None, locality_mb=None,
+            locality_factor=None, reverse=8.0, in_place=40.0,
+        )
+    )
+    assert result.tier is DeviceTier.LOW_END
+    assert not result.copes_with_unusual
+    assert any("pathological" in reason for reason in result.reasons)
+    assert any("no locality" in reason for reason in result.reasons)
+
+
+def test_mid_range_classification():
+    result = classify(summary(sw=0.6, rw=18.0, pause_rw=None, reverse=1.5))
+    assert result.tier is DeviceTier.MID_RANGE
+
+
+def test_high_rw_penalty_overrides_coping():
+    result = classify(summary(sw=2.6, rw=233.0, reverse=2.0, in_place=2.0))
+    assert result.tier is DeviceTier.LOW_END
+
+
+def test_price_note_flags_inversions():
+    expensive_but_slow = summary(name="pricey", rw=50.0)
+    cheap_but_fast = summary(name="bargain", rw=5.0)
+    note = price_performance_note(
+        [(expensive_but_slow, 900), (cheap_but_fast, 100)]
+    )
+    assert "pricey" in note and "bargain" in note
+
+
+def test_price_note_ok_when_consistent():
+    fast = summary(name="fast", rw=5.0)
+    slow = summary(name="slow", rw=50.0)
+    note = price_performance_note([(fast, 900), (slow, 100)])
+    assert "matches" in note

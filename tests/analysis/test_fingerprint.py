@@ -1,0 +1,109 @@
+"""Device fingerprinting against the paper's Table 3."""
+
+import pytest
+
+from repro.analysis.fingerprint import (
+    feature_distance,
+    fingerprint,
+    identify,
+    paper_features,
+    summary_features,
+)
+from repro.analysis.summarize import DeviceSummary
+from repro.errors import AnalysisError
+from repro.paperdata import TABLE3
+
+
+def summary_from_paper(name, **tweaks):
+    """A DeviceSummary built straight from a paper row (plus tweaks)."""
+    row = TABLE3[name]
+    fields = dict(
+        name=f"unknown-{name}",
+        sr=row.sr, rr=row.rr, sw=row.sw, rw=row.rw,
+        pause_rw=row.pause_rw,
+        locality_mb=row.locality_mb, locality_factor=row.locality_factor,
+        partitions=row.partitions, partitions_factor=row.partitions_factor,
+        reverse=row.reverse, in_place=row.in_place,
+        large_incr=row.large_incr,
+    )
+    fields.update(tweaks)
+    return DeviceSummary(**fields)
+
+
+@pytest.mark.parametrize("name", sorted(TABLE3))
+def test_paper_rows_identify_themselves(name):
+    summary = summary_from_paper(name)
+    matches = fingerprint(summary)
+    assert matches[0].device == name
+    assert matches[0].distance == pytest.approx(0.0, abs=1e-9)
+    assert identify(summary) == name
+
+
+def test_perturbed_measurements_still_identify():
+    # 30% noise on every cost: the nearest neighbour should survive
+    summary = summary_from_paper(
+        "kingston_dti", sr=2.5, rr=2.9, sw=3.8, rw=200.0, in_place=55.0,
+    )
+    assert identify(summary) == "kingston_dti"
+
+
+def test_cross_class_devices_are_distant():
+    high_end = summary_from_paper("memoright")
+    low_end = summary_from_paper("kingston_dti")
+    distance = feature_distance(
+        summary_features(high_end), summary_features(low_end)
+    )
+    assert distance > 3.0
+
+
+def test_same_class_devices_are_closer_than_cross_class():
+    memoright = summary_features(summary_from_paper("memoright"))
+    mtron = summary_features(summary_from_paper("mtron"))
+    dti = summary_features(summary_from_paper("kingston_dti"))
+    assert feature_distance(memoright, mtron) < feature_distance(memoright, dti)
+
+
+def test_identify_rejects_far_away_devices():
+    # a fantasy device: reads slower than writes, second-scale latencies
+    weird = summary_from_paper(
+        "memoright", sr=900.0, rr=1000.0, sw=0.1, rw=0.2,
+        reverse=100.0, in_place=100.0,
+    )
+    assert identify(weird) is None
+
+
+def test_nonpositive_costs_rejected():
+    broken = summary_from_paper("mtron", sr=0.0)
+    with pytest.raises(AnalysisError):
+        summary_features(broken)
+
+
+def test_ranking_is_total_over_the_seven():
+    matches = fingerprint(summary_from_paper("samsung"))
+    assert len(matches) == len(TABLE3)
+    distances = [match.distance for match in matches]
+    assert distances == sorted(distances)
+
+
+def test_paper_features_align_with_summary_features():
+    for name, row in TABLE3.items():
+        assert paper_features(row) == summary_features(summary_from_paper(name))
+
+
+@pytest.mark.slow
+def test_measured_devices_identify_their_own_profiles():
+    """The end-to-end claim: measure a simulated device blind, then
+    recover which paper device it is."""
+    from repro.analysis import summarize_device
+    from repro.core import enforce_random_state, rest_device
+    from repro.flashsim import build_device
+    from repro.units import MIB, SEC
+
+    for name in ("mtron", "kingston_dti"):
+        device = build_device(name, logical_bytes=32 * MIB)
+        enforce_random_state(device)
+        rest_device(device, 60 * SEC)
+        summary = summarize_device(device, f"blind-{name}", io_count=192)
+        matches = fingerprint(summary)
+        top_two = {match.device for match in matches[:2]}
+        assert name in top_two, (name, [(m.device, round(m.distance, 2)) for m in matches])

@@ -1,0 +1,60 @@
+"""The seven design hints, verified on simulated devices."""
+
+import pytest
+
+from repro.analysis.hints import (
+    ALL_HINTS,
+    check_hint1_latency,
+    check_hint3_alignment,
+    check_hint4_focused_random_writes,
+    check_hint6_mix,
+    check_hint7_concurrency,
+    evaluate_hints,
+)
+
+
+def test_seven_hints_registered():
+    assert len(ALL_HINTS) == 7
+
+
+def test_hint1_latency_holds(enforced_mtron):
+    result = check_hint1_latency(enforced_mtron)
+    assert result.hint == 1
+    assert result.holds
+    assert "ms" in result.evidence
+
+
+def test_hint3_alignment_holds_on_unit_mapped_device():
+    from repro.core import enforce_random_state, rest_device
+    from repro.flashsim import build_device
+    from repro.units import MIB, SEC
+
+    device = build_device("samsung", logical_bytes=32 * MIB)
+    enforce_random_state(device)
+    rest_device(device, 30 * SEC)
+    result = check_hint3_alignment(device)
+    assert result.holds
+
+
+def test_hint4_focused_random_writes(enforced_mtron):
+    result = check_hint4_focused_random_writes(enforced_mtron)
+    assert result.holds
+
+
+def test_hint6_mix_is_additive(enforced_mtron):
+    result = check_hint6_mix(enforced_mtron)
+    assert result.holds
+
+
+def test_hint7_no_gain_from_parallelism(enforced_mtron):
+    result = check_hint7_concurrency(enforced_mtron)
+    assert result.holds
+
+
+@pytest.mark.slow
+def test_all_hints_on_mtron(enforced_mtron):
+    results = evaluate_hints(enforced_mtron)
+    assert len(results) == 7
+    held = sum(1 for r in results if r.holds)
+    # the design hints were derived from exactly this class of device
+    assert held >= 6

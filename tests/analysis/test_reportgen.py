@@ -1,0 +1,85 @@
+"""Markdown campaign reports."""
+
+import pytest
+
+from repro.analysis.reportgen import campaign_report, write_campaign_report
+from repro.core.archive import Campaign
+from repro.core.experiment import Experiment, run_experiment
+from repro.core.patterns import LocationKind, PatternSpec
+from repro.errors import AnalysisError
+from repro.flashsim.timing import TimingSpec
+from repro.iotypes import Mode
+from repro.units import KIB
+
+from tests.conftest import make_device
+
+
+def make_campaign(label="run1", slow=False):
+    timing = TimingSpec(transfer_per_kib=300.0) if slow else None
+    device = make_device(timing=timing)
+
+    def build(io_size):
+        return PatternSpec(
+            mode=Mode.WRITE,
+            location=LocationKind.SEQUENTIAL,
+            io_size=io_size,
+            io_count=6,
+        )
+
+    experiment = Experiment("granularity/SW", "IOSize", (4 * KIB, 16 * KIB), build)
+    campaign = Campaign(device="test-hybrid", label=label,
+                        metadata={"state": "random"})
+    campaign.results["granularity/SW"] = run_experiment(
+        device, experiment, pause_usec=1000.0
+    )
+    return campaign
+
+
+def test_report_structure():
+    text = campaign_report(make_campaign())
+    assert text.startswith("# uFLIP campaign: run1")
+    assert "* device: `test-hybrid`" in text
+    assert "* state: random" in text
+    assert "## granularity/SW" in text
+    assert "| IOSize | pattern | mean (ms) | max (ms) |" in text
+    assert "```" in text  # the ASCII plot block
+
+
+def test_report_with_comparison():
+    a = make_campaign("fast")
+    b = make_campaign("slow", slow=True)
+    text = campaign_report(a, compare_to=b)
+    assert "## Comparison" in text
+    assert "fast (test-hybrid)  vs  slow (test-hybrid)" in text
+    assert "regressions" in text  # the slow campaign regresses
+
+
+def test_report_without_regressions_notes_it():
+    a = make_campaign("a")
+    b = make_campaign("b")
+    text = campaign_report(a, compare_to=b)
+    assert "no experiment regressed" in text
+
+
+def test_empty_campaign_rejected():
+    with pytest.raises(AnalysisError):
+        campaign_report(Campaign(device="x", label="empty"))
+
+
+def test_write_report(tmp_path):
+    campaign = make_campaign()
+    path = write_campaign_report(campaign, tmp_path / "sub" / "report.md")
+    assert path.exists()
+    assert path.read_text().startswith("# uFLIP campaign")
+
+
+def test_non_numeric_values_skip_the_plot():
+    campaign = make_campaign()
+    result = campaign.results["granularity/SW"]
+    for row in result.rows:
+        row.value = f"v{row.value}"
+    object.__setattr__(
+        result.experiment, "values", tuple(f"v{v}" for v in result.experiment.values)
+    )
+    text = campaign_report(campaign)
+    assert "## granularity/SW" in text

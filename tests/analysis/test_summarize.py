@@ -1,0 +1,79 @@
+"""Table 3 derivation on a live (small) device."""
+
+import pytest
+
+from repro.analysis.summarize import (
+    DeviceSummary,
+    render_table3,
+    summarize_device,
+)
+from repro.core import enforce_random_state, rest_device
+from repro.flashsim import build_device
+from repro.units import MIB, SEC
+
+
+@pytest.fixture(scope="module")
+def mtron_summary():
+    device = build_device("mtron", logical_bytes=32 * MIB)
+    enforce_random_state(device)
+    rest_device(device, 60 * SEC)
+    return summarize_device(device, "mtron", io_count=192)
+
+
+def test_baseline_ordering(mtron_summary):
+    s = mtron_summary
+    assert s.sr < s.rw
+    assert s.sw < s.rw
+    assert s.rr >= s.sr
+    # random writes are an order of magnitude above sequential
+    assert s.rw / s.sw > 5
+
+
+def test_pause_effect_present_on_background_device(mtron_summary):
+    assert mtron_summary.pause_rw is not None
+    # the helpful pause is on the order of the RW cost itself
+    assert mtron_summary.pause_rw <= 4 * mtron_summary.rw
+
+
+def test_locality_area_detected(mtron_summary):
+    assert mtron_summary.locality_mb is not None
+    assert 1 <= mtron_summary.locality_mb <= 16
+    assert mtron_summary.locality_factor < 3.5
+
+
+def test_partition_limit_small(mtron_summary):
+    assert 2 <= mtron_summary.partitions <= 16
+
+
+def test_ordered_patterns_absorbed_by_high_end(mtron_summary):
+    assert mtron_summary.reverse < 3.0
+    assert mtron_summary.in_place < 3.0
+
+
+def test_startup_phase_measured(mtron_summary):
+    assert mtron_summary.startup_rw > 20
+
+
+def test_render_table3_with_paper_rows(mtron_summary):
+    text = render_table3([mtron_summary])
+    assert "mtron" in text
+    assert "(paper: Mtron)" in text
+    assert "Locality MB" in text
+
+
+def test_render_table3_without_paper(mtron_summary):
+    text = render_table3([mtron_summary], with_paper=False)
+    assert "(paper:" not in text
+
+
+def test_as_row_formats_missing_values():
+    summary = DeviceSummary(
+        name="x", sr=1.0, rr=1.0, sw=1.0, rw=100.0,
+        pause_rw=None, locality_mb=None, locality_factor=None,
+        partitions=4, partitions_factor=2.0,
+        reverse=8.0, in_place=40.0, large_incr=1.0,
+    )
+    row = summary.as_row()
+    assert "No" in row
+    assert "-" in row
+    assert "x40.0" in row

@@ -1,0 +1,67 @@
+"""ASCII plotting."""
+
+import pytest
+
+from repro.analysis.visualize import plot_series, plot_trace
+from repro.errors import AnalysisError
+
+
+def test_plot_trace_shape():
+    trace = [100.0 + i for i in range(50)]
+    text = plot_trace(trace, title="rising", width=40, height=8)
+    lines = text.splitlines()
+    assert lines[0] == "rising"
+    assert len(lines) == 1 + 8 + 2  # title + grid + axis + labels
+    assert "*" in text
+    assert "IO number" in text
+
+
+def test_plot_trace_labels_extremes():
+    text = plot_trace([1_000.0, 9_000.0], width=10, height=5)
+    assert "9.00ms" in text
+    assert "1.00ms" in text
+
+
+def test_plot_trace_empty_rejected():
+    with pytest.raises(AnalysisError):
+        plot_trace([])
+
+
+def test_plot_trace_constant_series():
+    text = plot_trace([500.0] * 10, width=20, height=5, log_y=True)
+    assert "*" in text
+
+
+def test_plot_trace_falls_back_from_log_on_nonpositive():
+    text = plot_trace([0.0, 10.0, 20.0], log_y=True)
+    assert "*" in text  # no crash: linear fallback
+
+
+def test_plot_series_legend_and_markers():
+    text = plot_series(
+        {
+            "SR": ([1, 2, 4], [0.1, 0.2, 0.3]),
+            "RW": ([1, 2, 4], [5.0, 6.0, 7.0]),
+        },
+        title="Granularity",
+        x_label="IOSize",
+    )
+    assert "a=SR" in text and "b=RW" in text
+    assert "a" in text and "b" in text
+    assert "Granularity" in text
+
+
+def test_plot_series_empty_rejected():
+    with pytest.raises(AnalysisError):
+        plot_series({})
+    with pytest.raises(AnalysisError):
+        plot_series({"s": ([], [])})
+
+
+def test_plot_series_log_axes():
+    text = plot_series(
+        {"s": ([1, 10, 100, 1000], [1.0, 2.0, 4.0, 8.0])},
+        log_x=True,
+        log_y=True,
+    )
+    assert "s" in text

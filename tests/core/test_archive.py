@@ -1,0 +1,129 @@
+"""Campaign archives: round-trip, indexing, comparison."""
+
+import json
+
+import pytest
+
+from repro.core.archive import (
+    Campaign,
+    compare_campaigns,
+    list_campaigns,
+    load_campaigns,
+    render_comparison,
+)
+from repro.core.experiment import Experiment, run_experiment
+from repro.core.patterns import LocationKind, PatternSpec
+from repro.errors import AnalysisError
+from repro.iotypes import Mode
+from repro.units import KIB
+
+from tests.conftest import make_device
+
+
+def size_experiment(io_count=8):
+    def build(io_size):
+        return PatternSpec(
+            mode=Mode.WRITE,
+            location=LocationKind.SEQUENTIAL,
+            io_size=io_size,
+            io_count=io_count,
+        )
+
+    return Experiment("granularity/SW", "IOSize", (4 * KIB, 16 * KIB), build)
+
+
+def make_campaign(label="run1", slow=False):
+    from repro.flashsim.timing import TimingSpec
+
+    timing = TimingSpec(transfer_per_kib=50.0) if slow else None
+    device = make_device(timing=timing)
+    result = run_experiment(device, size_experiment(), pause_usec=1000.0)
+    campaign = Campaign(device="test-hybrid", label=label,
+                        metadata={"seed": "42"})
+    campaign.results["granularity/SW"] = result
+    return campaign
+
+
+def test_round_trip(tmp_path):
+    campaign = make_campaign()
+    path = campaign.save(tmp_path)
+    loaded = Campaign.load(path)
+    assert loaded.device == campaign.device
+    assert loaded.label == campaign.label
+    assert loaded.metadata == {"seed": "42"}
+    original = campaign.results["granularity/SW"]
+    restored = loaded.results["granularity/SW"]
+    assert [row.value for row in restored.rows] == [row.value for row in original.rows]
+    for row_a, row_b in zip(original.rows, restored.rows):
+        assert row_b.mean_usec == pytest.approx(row_a.mean_usec)
+        assert row_b.stats[0].p95_usec == pytest.approx(row_a.stats[0].p95_usec)
+
+
+def test_archived_experiments_are_not_runnable(tmp_path):
+    campaign = make_campaign()
+    loaded = Campaign.load(campaign.save(tmp_path))
+    with pytest.raises(AnalysisError):
+        loaded.results["granularity/SW"].experiment.spec_for(4 * KIB)
+
+
+def test_version_guard(tmp_path):
+    campaign = make_campaign()
+    path = campaign.save(tmp_path)
+    payload = json.loads(path.read_text())
+    payload["version"] = 99
+    path.write_text(json.dumps(payload))
+    with pytest.raises(AnalysisError):
+        Campaign.load(path)
+
+
+def test_index_lists_campaigns(tmp_path):
+    make_campaign("alpha").save(tmp_path)
+    make_campaign("beta").save(tmp_path)
+    entries = list_campaigns(tmp_path)
+    assert [entry["label"] for entry in entries] == ["alpha", "beta"]
+    assert all(entry["device"] == "test-hybrid" for entry in entries)
+    assert (tmp_path / "index.json").exists()
+
+
+def test_index_skips_foreign_json(tmp_path):
+    make_campaign("alpha").save(tmp_path)
+    (tmp_path / "junk.json").write_text("{not json")
+    (tmp_path / "other.json").write_text(json.dumps({"version": 99}))
+    entries = list_campaigns(tmp_path)
+    assert [entry["label"] for entry in entries] == ["alpha"]
+
+
+def test_load_campaigns(tmp_path):
+    make_campaign("alpha").save(tmp_path)
+    make_campaign("beta").save(tmp_path)
+    campaigns = load_campaigns(tmp_path)
+    assert {campaign.label for campaign in campaigns} == {"alpha", "beta"}
+
+
+def test_compare_campaigns_detects_regression():
+    fast = make_campaign("fast")
+    slow = make_campaign("slow", slow=True)
+    deltas = compare_campaigns(fast, slow)
+    assert len(deltas) == 1
+    delta = deltas[0]
+    assert delta.name == "granularity/SW"
+    # the slow-transfer variant is slower at every size
+    assert all(row.ratio > 1.0 for row in delta.rows)
+    assert delta.max_regression > 1.0
+    assert delta.max_improvement > 1.0
+
+
+def test_compare_ignores_disjoint_experiments():
+    a = make_campaign("a")
+    b = make_campaign("b")
+    b.results["other/exp"] = b.results.pop("granularity/SW")
+    assert compare_campaigns(a, b) == []
+
+
+def test_render_comparison():
+    a = make_campaign("a")
+    b = make_campaign("b", slow=True)
+    text = render_comparison(a, b, compare_campaigns(a, b))
+    assert "a (test-hybrid)  vs  b (test-hybrid)" in text
+    assert "granularity/SW" in text
+    assert "b/a" in text

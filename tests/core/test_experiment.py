@@ -1,0 +1,105 @@
+"""Experiments: single varying parameter, repetitions, allocator hook."""
+
+import pytest
+
+from repro.core.experiment import Experiment, run_experiment
+from repro.core.patterns import LocationKind, PatternSpec
+from repro.errors import ExperimentError
+from repro.iotypes import Mode
+from repro.units import KIB
+
+from tests.conftest import make_device
+
+
+def size_experiment(io_count=8):
+    def build(io_size):
+        return PatternSpec(
+            mode=Mode.WRITE,
+            location=LocationKind.SEQUENTIAL,
+            io_size=io_size,
+            io_count=io_count,
+        )
+
+    return Experiment(
+        name="granularity/SW",
+        parameter="IOSize",
+        values=(4 * KIB, 16 * KIB, 64 * KIB),
+        build=build,
+    )
+
+
+def test_experiment_requires_values():
+    with pytest.raises(ExperimentError):
+        Experiment(name="x", parameter="p", values=(), build=lambda v: None)
+
+
+def test_run_experiment_produces_row_per_value():
+    device = make_device()
+    result = run_experiment(device, size_experiment(), pause_usec=1000.0)
+    values, means = result.series()
+    assert values == [4 * KIB, 16 * KIB, 64 * KIB]
+    assert len(means) == 3
+    assert all(mean > 0 for mean in means)
+    # bigger IOs take longer per IO (transfer dominated on this device)
+    assert means[0] < means[2]
+
+
+def test_row_lookup():
+    device = make_device()
+    result = run_experiment(device, size_experiment(), pause_usec=1000.0)
+    row = result.row_for(16 * KIB)
+    assert row.value == 16 * KIB
+    with pytest.raises(ExperimentError):
+        result.row_for(12345)
+
+
+def test_repetitions_reseed_and_average():
+    device = make_device()
+
+    def build(size):
+        return PatternSpec(
+            mode=Mode.WRITE,
+            location=LocationKind.RANDOM,
+            io_size=size,
+            io_count=8,
+            target_size=512 * KIB,
+            seed=1,
+        )
+
+    experiment = Experiment("rw", "IOSize", (16 * KIB,), build)
+    result = run_experiment(device, experiment, pause_usec=1000.0, repetitions=3)
+    row = result.rows[0]
+    assert len(row.stats) == 3
+    assert row.mean_usec == pytest.approx(
+        sum(s.mean_usec for s in row.stats) / 3
+    )
+    # the simulator is deterministic enough for the paper's 5% check
+    assert row.repeatable_within(0.5)
+
+
+def test_repetitions_must_be_positive():
+    device = make_device()
+    with pytest.raises(ExperimentError):
+        run_experiment(device, size_experiment(), repetitions=0)
+
+
+def test_allocator_hook_rewrites_specs():
+    device = make_device()
+    seen = []
+
+    def allocate(spec):
+        seen.append(spec)
+        return spec.with_(target_offset=256 * KIB)
+
+    result = run_experiment(
+        device, size_experiment(), pause_usec=1000.0, allocate=allocate
+    )
+    assert len(seen) == 3
+    assert result.rows[0].stats[0].count == 8
+
+
+def test_max_usec_row_aggregation():
+    device = make_device()
+    result = run_experiment(device, size_experiment(), pause_usec=1000.0)
+    row = result.rows[0]
+    assert row.max_usec >= row.mean_usec

@@ -1,0 +1,160 @@
+"""Generators: feedback-driven scheduling, determinism, mix interleave."""
+
+from repro.core.generator import MixGenerator, PatternGenerator
+from repro.core.patterns import (
+    LocationKind,
+    MixSpec,
+    PatternSpec,
+    TimingKind,
+)
+from repro.flashsim.timing import CostAccumulator
+from repro.iotypes import CompletedIO, IORequest, Mode
+from repro.units import KIB, MIB
+
+
+def completed(request, finished_at):
+    return CompletedIO(
+        request=request,
+        submitted_at=request.scheduled_at,
+        started_at=request.scheduled_at,
+        completed_at=finished_at,
+        cost=CostAccumulator(),
+    )
+
+
+def drive(generator, service_usec=100.0):
+    """Run a generator to exhaustion with a fixed simulated service time."""
+    out = []
+    previous = None
+    while True:
+        request = generator(previous)
+        if request is None:
+            return out
+        out.append(request)
+        previous = completed(request, request.scheduled_at + service_usec)
+
+
+def test_generator_produces_io_count_requests():
+    spec = PatternSpec(
+        mode=Mode.WRITE, location=LocationKind.SEQUENTIAL, io_count=7, io_size=32 * KIB
+    )
+    requests = drive(PatternGenerator(spec))
+    assert len(requests) == 7
+    assert [r.index for r in requests] == list(range(7))
+
+
+def test_consecutive_schedules_at_previous_completion():
+    spec = PatternSpec(
+        mode=Mode.WRITE, location=LocationKind.SEQUENTIAL, io_count=4, io_size=32 * KIB
+    )
+    requests = drive(PatternGenerator(spec, start_at=50.0), service_usec=100.0)
+    assert [r.scheduled_at for r in requests] == [50.0, 150.0, 250.0, 350.0]
+
+
+def test_pause_adds_gap():
+    spec = PatternSpec(
+        mode=Mode.WRITE,
+        location=LocationKind.SEQUENTIAL,
+        io_count=3,
+        io_size=32 * KIB,
+        timing=TimingKind.PAUSE,
+        pause_usec=40.0,
+    )
+    requests = drive(PatternGenerator(spec), service_usec=100.0)
+    assert [r.scheduled_at for r in requests] == [0.0, 140.0, 280.0]
+
+
+def test_burst_gaps_between_groups():
+    spec = PatternSpec(
+        mode=Mode.WRITE,
+        location=LocationKind.SEQUENTIAL,
+        io_count=5,
+        io_size=32 * KIB,
+        timing=TimingKind.BURST,
+        pause_usec=1000.0,
+        burst=2,
+    )
+    requests = drive(PatternGenerator(spec), service_usec=100.0)
+    gaps = [
+        later.scheduled_at - (earlier.scheduled_at + 100.0)
+        for earlier, later in zip(requests, requests[1:])
+    ]
+    assert gaps == [0.0, 1000.0, 0.0, 1000.0]
+
+
+def test_random_location_deterministic_per_seed():
+    spec = PatternSpec(
+        mode=Mode.WRITE,
+        location=LocationKind.RANDOM,
+        io_count=20,
+        io_size=32 * KIB,
+        target_size=2 * MIB,
+        seed=7,
+    )
+    first = [r.lba for r in drive(PatternGenerator(spec))]
+    second = [r.lba for r in drive(PatternGenerator(spec))]
+    assert first == second
+    different = [r.lba for r in drive(PatternGenerator(spec.with_(seed=8)))]
+    assert first != different
+
+
+def test_random_lbas_inside_target_and_aligned():
+    spec = PatternSpec(
+        mode=Mode.WRITE,
+        location=LocationKind.RANDOM,
+        io_count=50,
+        io_size=32 * KIB,
+        target_size=2 * MIB,
+    )
+    for request in drive(PatternGenerator(spec)):
+        assert 0 <= request.lba < 2 * MIB
+        assert request.lba % (32 * KIB) == 0
+
+
+def test_mix_generator_interleaves_by_ratio():
+    primary = PatternSpec(
+        mode=Mode.READ, location=LocationKind.SEQUENTIAL, io_count=32, io_size=32 * KIB
+    )
+    secondary = PatternSpec(
+        mode=Mode.WRITE,
+        location=LocationKind.SEQUENTIAL,
+        io_count=32,
+        io_size=32 * KIB,
+        target_offset=4 * MIB,
+    )
+    spec = MixSpec(primary=primary, secondary=secondary, ratio=3, io_count=12)
+    generator = MixGenerator(spec)
+    requests = drive(generator)
+    assert len(requests) == 12
+    modes = [r.mode for r in requests]
+    assert modes.count(Mode.WRITE) == 3  # one per group of four
+    assert generator.component_log == [0, 0, 0, 1] * 3
+
+
+def test_mix_components_advance_independently():
+    primary = PatternSpec(
+        mode=Mode.READ, location=LocationKind.SEQUENTIAL, io_count=32, io_size=32 * KIB
+    )
+    secondary = PatternSpec(
+        mode=Mode.WRITE,
+        location=LocationKind.SEQUENTIAL,
+        io_count=32,
+        io_size=32 * KIB,
+        target_offset=4 * MIB,
+    )
+    spec = MixSpec(primary=primary, secondary=secondary, ratio=1, io_count=8)
+    requests = drive(MixGenerator(spec))
+    reads = [r.lba for r in requests if r.mode is Mode.READ]
+    writes = [r.lba for r in requests if r.mode is Mode.WRITE]
+    assert reads == [0, 32 * KIB, 64 * KIB, 96 * KIB]
+    assert writes == [4 * MIB + i * 32 * KIB for i in range(4)]
+
+
+def test_issued_counter():
+    spec = PatternSpec(
+        mode=Mode.WRITE, location=LocationKind.SEQUENTIAL, io_count=3, io_size=32 * KIB
+    )
+    generator = PatternGenerator(spec)
+    assert generator.issued == 0
+    drive(generator)
+    assert generator.issued == 3

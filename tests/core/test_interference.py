@@ -1,0 +1,51 @@
+"""Inter-run interference probe (Section 4.3 / Figure 5)."""
+
+from repro.core.interference import determine_pause
+from repro.units import KIB, SEC
+
+from tests.conftest import make_device
+
+
+def test_device_without_background_shows_no_lingering(enforced_dti):
+    result = determine_pause(
+        enforced_dti, io_size=32 * KIB, reads_before=64,
+        write_count=32, reads_after=256,
+    )
+    # at most a stray first read (map reload), no lingering tail
+    assert result.affected_reads <= 1
+    assert result.lingering_usec < 10_000.0
+    # the paper still uses a conservative 1 s pause for such devices
+    assert result.recommended_pause_usec == 1.0 * SEC
+
+
+def test_background_device_shows_lingering_effect(enforced_mtron):
+    result = determine_pause(
+        enforced_mtron, io_size=32 * KIB, reads_before=128,
+        write_count=256, reads_after=4096,
+    )
+    assert result.interferes
+    assert result.affected_reads > 50
+    assert result.lingering_usec > 0
+    # the recommendation overestimates the observed lingering
+    assert result.recommended_pause_usec >= 2.0 * result.lingering_usec
+    # and the effect does end: not every read was affected
+    assert result.affected_reads < 4096
+
+
+def test_probe_returns_all_three_traces():
+    device = make_device(bg=True)
+    result = determine_pause(
+        device, io_size=16 * KIB, reads_before=32, write_count=32, reads_after=64
+    )
+    assert len(result.reads_before) == 32
+    assert len(result.writes) == 32
+    assert len(result.reads_after) == 64
+    assert result.baseline_read_usec > 0
+
+
+def test_summary_text(enforced_dti):
+    result = determine_pause(
+        enforced_dti, io_size=32 * KIB, reads_before=32,
+        write_count=16, reads_after=64,
+    )
+    assert "recommended pause" in result.summary()

@@ -1,0 +1,160 @@
+"""The nine micro-benchmark builders: ranges, spec shapes, bounds."""
+
+import pytest
+
+from repro.core.microbench import (
+    BASELINE_LABELS,
+    MICROBENCHMARKS,
+    MIX_COMBOS,
+    BenchContext,
+    build_microbenchmark,
+    table1_values,
+)
+from repro.core.patterns import (
+    LocationKind,
+    MixSpec,
+    ParallelSpec,
+    PatternSpec,
+    TimingKind,
+)
+from repro.errors import PatternError
+from repro.units import KIB, MIB, MSEC
+
+CTX = BenchContext(capacity=32 * MIB, io_size=32 * KIB, io_count=64)
+
+
+def test_registry_has_exactly_nine():
+    assert len(MICROBENCHMARKS) == 9
+    assert set(MICROBENCHMARKS) == {
+        "granularity",
+        "alignment",
+        "locality",
+        "partitioning",
+        "order",
+        "parallelism",
+        "mix",
+        "pause",
+        "bursts",
+    }
+
+
+def test_unknown_microbenchmark_rejected():
+    with pytest.raises(PatternError):
+        build_microbenchmark("seek", CTX)
+
+
+@pytest.mark.parametrize("name", sorted(MICROBENCHMARKS))
+def test_every_builder_produces_wellformed_specs(name):
+    bench = build_microbenchmark(name, CTX)
+    assert bench.experiments
+    for experiment in bench.experiments:
+        assert experiment.values
+        for value in experiment.values:
+            spec = experiment.spec_for(value)
+            if isinstance(spec, PatternSpec):
+                assert spec.fits(CTX.capacity)
+            elif isinstance(spec, ParallelSpec):
+                for process_spec in spec.process_specs():
+                    assert process_spec.fits(CTX.capacity)
+            else:
+                assert isinstance(spec, MixSpec)
+                assert spec.primary.fits(CTX.capacity)
+                assert spec.secondary.fits(CTX.capacity)
+
+
+def test_granularity_varies_io_size():
+    bench = build_microbenchmark("granularity", CTX)
+    assert len(bench.experiments) == 4
+    experiment = bench.experiment("RW")
+    sizes = {experiment.spec_for(v).io_size for v in experiment.values}
+    assert sizes == set(experiment.values)
+    assert 512 in sizes and 32 * KIB in sizes
+
+
+def test_granularity_includes_non_powers_of_two():
+    values = table1_values("granularity")
+    assert 3 * KIB in values and 24 * KIB in values
+
+
+def test_alignment_varies_shift_up_to_io_size():
+    bench = build_microbenchmark("alignment", CTX)
+    experiment = bench.experiment("SW")
+    shifts = [experiment.spec_for(v).io_shift for v in experiment.values]
+    assert shifts[0] == 0
+    assert max(shifts) == CTX.io_size
+    assert all(s % 512 == 0 for s in shifts)
+
+
+def test_locality_random_covers_full_table_range_capped():
+    bench = build_microbenchmark("locality", CTX)
+    rw = bench.experiment("RW")
+    targets = [rw.spec_for(v).target_size for v in rw.values]
+    assert targets[0] == CTX.io_size  # down to a single IO slot
+    assert max(targets) <= CTX.capacity
+    sr = bench.experiment("SR")
+    assert max(sr.values) <= 256  # Table 1 sequential range 2^0..2^8
+
+
+def test_partitioning_is_sequential_only():
+    bench = build_microbenchmark("partitioning", CTX)
+    labels = {e.name.split("/")[1] for e in bench.experiments}
+    assert labels == {"SR", "SW"}
+    spec = bench.experiment("SW").spec_for(4)
+    assert spec.location is LocationKind.PARTITIONED
+    assert spec.partitions == 4
+    assert spec.target_size % 4 == 0
+
+
+def test_order_includes_reverse_and_in_place():
+    bench = build_microbenchmark("order", CTX)
+    experiment = bench.experiment("SW")
+    assert -1 in experiment.values and 0 in experiment.values
+    in_place = experiment.spec_for(0)
+    assert in_place.incr == 0
+    assert in_place.location is LocationKind.ORDERED
+
+
+def test_parallelism_replicates_baselines():
+    bench = build_microbenchmark("parallelism", CTX)
+    experiment = bench.experiment("SW")
+    assert list(experiment.values) == [1, 2, 4, 8, 16]
+    spec = experiment.spec_for(4)
+    assert isinstance(spec, ParallelSpec)
+    assert spec.parallel_degree == 4
+
+
+def test_mix_covers_six_combinations():
+    bench = build_microbenchmark("mix", CTX)
+    assert len(bench.experiments) == len(MIX_COMBOS) == 6
+    spec = bench.experiments[0].spec_for(4)
+    assert isinstance(spec, MixSpec)
+    assert spec.ratio == 4
+    # components must be disjoint (validated by MixSpec itself)
+
+
+def test_pause_values_follow_table1():
+    values = table1_values("pause")
+    assert values[0] == pytest.approx(0.1 * MSEC)
+    assert values[-1] == pytest.approx(25.6 * MSEC)
+    bench = build_microbenchmark("pause", CTX)
+    spec = bench.experiment("RW").spec_for(values[0])
+    assert spec.timing is TimingKind.PAUSE
+
+
+def test_bursts_fixed_pause_varying_group():
+    bench = build_microbenchmark("bursts", CTX)
+    spec = bench.experiment("SW").spec_for(20)
+    assert spec.timing is TimingKind.BURST
+    assert spec.burst == 20
+    assert spec.pause_usec == pytest.approx(100.0 * MSEC)
+
+
+def test_context_io_ignore_propagates():
+    ctx = BenchContext(capacity=32 * MIB, io_count=64, io_ignore=16)
+    bench = build_microbenchmark("granularity", ctx)
+    spec = bench.experiment("SW").spec_for(32 * KIB)
+    assert spec.io_ignore == 16
+
+
+def test_baseline_labels_constant():
+    assert BASELINE_LABELS == ("SR", "RR", "SW", "RW")

@@ -1,0 +1,264 @@
+"""Pattern specs: the Table 1 formulas, exactly."""
+
+import pytest
+
+from repro.core.patterns import (
+    LocationKind,
+    MixSpec,
+    ParallelSpec,
+    PatternSpec,
+    TimingKind,
+    baselines,
+)
+from repro.errors import PatternError
+from repro.iotypes import Mode
+from repro.units import KIB, MIB
+
+
+def seq_spec(**kwargs):
+    defaults = dict(
+        mode=Mode.WRITE, location=LocationKind.SEQUENTIAL, io_size=32 * KIB,
+        io_count=16,
+    )
+    defaults.update(kwargs)
+    return PatternSpec(**defaults)
+
+
+# ----------------------------------------------------------------------
+# LBA formulas (Table 1)
+# ----------------------------------------------------------------------
+
+def test_sequential_lba():
+    spec = seq_spec()
+    # Seq: TargetOffset + i x IOSize
+    assert [spec.lba(i) for i in range(4)] == [0, 32 * KIB, 64 * KIB, 96 * KIB]
+
+
+def test_sequential_with_offset_and_shift():
+    spec = seq_spec(target_offset=1 * MIB, io_shift=512)
+    assert spec.lba(0) == 1 * MIB + 512
+    assert spec.lba(2) == 1 * MIB + 512 + 64 * KIB
+
+
+def test_sequential_wraps_modulo_target_size():
+    spec = seq_spec(io_count=16, target_size=4 * 32 * KIB)
+    assert spec.lba(4) == spec.lba(0)
+    assert spec.lba(7) == spec.lba(3)
+
+
+def test_random_lba_uses_slot_draw():
+    spec = seq_spec(location=LocationKind.RANDOM, target_size=8 * 32 * KIB)
+    # Rnd: TargetOffset + random(TargetSize/IOSize) x IOSize
+    assert spec.lba(0, slot_random=5) == 5 * 32 * KIB
+    with pytest.raises(PatternError):
+        spec.lba(0)  # needs a draw
+    with pytest.raises(PatternError):
+        spec.lba(0, slot_random=8)  # out of range
+
+
+def test_ordered_positive_increment():
+    spec = seq_spec(location=LocationKind.ORDERED, incr=4, target_size=64 * 32 * KIB)
+    # Seq: TargetOffset + Incr x i x IOSize
+    assert [spec.lba(i) for i in range(3)] == [0, 4 * 32 * KIB, 8 * 32 * KIB]
+
+
+def test_ordered_reverse():
+    spec = seq_spec(location=LocationKind.ORDERED, incr=-1, target_size=8 * 32 * KIB)
+    assert spec.lba(0) == 0
+    assert spec.lba(1) == 7 * 32 * KIB  # wraps to the top, then descends
+    assert spec.lba(2) == 6 * 32 * KIB
+
+
+def test_ordered_in_place():
+    spec = seq_spec(location=LocationKind.ORDERED, incr=0, target_size=32 * KIB)
+    assert all(spec.lba(i) == 0 for i in range(10))
+
+
+def test_partitioned_formula():
+    # PS = TargetSize/Partitions; Pi = i mod P; Oi = floor(i/P) x IOSize mod PS
+    spec = seq_spec(
+        location=LocationKind.PARTITIONED,
+        partitions=4,
+        target_size=16 * 32 * KIB,
+        io_count=16,
+    )
+    partition_size = 4 * 32 * KIB
+    assert spec.lba(0) == 0
+    assert spec.lba(1) == partition_size
+    assert spec.lba(4) == 32 * KIB  # back to partition 0, next slot
+    assert spec.lba(5) == partition_size + 32 * KIB
+
+
+def test_partitioned_round_robin_covers_all_partitions():
+    spec = seq_spec(
+        location=LocationKind.PARTITIONED,
+        partitions=4,
+        target_size=16 * 32 * KIB,
+        io_count=16,
+    )
+    partition_size = spec.target_size // 4
+    seen = {spec.lba(i) // partition_size for i in range(4)}
+    assert seen == {0, 1, 2, 3}
+
+
+def test_lbas_always_inside_footprint():
+    for location, extra in (
+        (LocationKind.SEQUENTIAL, {}),
+        (LocationKind.ORDERED, {"incr": 7}),
+        (LocationKind.ORDERED, {"incr": -3}),
+        (LocationKind.PARTITIONED, {"partitions": 4}),
+    ):
+        spec = seq_spec(
+            location=location, target_size=16 * 32 * KIB, io_count=64, **extra
+        )
+        start, end = spec.footprint
+        for i in range(64):
+            lba = spec.lba(i)
+            assert start <= lba <= end - spec.io_size
+
+
+# ----------------------------------------------------------------------
+# timing functions
+# ----------------------------------------------------------------------
+
+def test_consecutive_has_no_gaps():
+    spec = seq_spec()
+    assert all(spec.inter_io_gap(i) == 0.0 for i in range(10))
+
+
+def test_pause_inserts_gap_between_all_ios():
+    spec = seq_spec(timing=TimingKind.PAUSE, pause_usec=500.0)
+    assert spec.inter_io_gap(0) == 0.0  # nothing before the first IO
+    assert all(spec.inter_io_gap(i) == 500.0 for i in range(1, 5))
+
+
+def test_burst_pauses_between_groups():
+    spec = seq_spec(timing=TimingKind.BURST, pause_usec=1000.0, burst=3)
+    gaps = [spec.inter_io_gap(i) for i in range(9)]
+    assert gaps == [0, 0, 0, 1000.0, 0, 0, 1000.0, 0, 0]
+
+
+# ----------------------------------------------------------------------
+# validation
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"io_size": 0},
+        {"io_count": 0},
+        {"io_ignore": 20},  # > io_count
+        {"target_offset": -1},
+        {"target_size": 16 * KIB},  # < io_size
+        {"target_size": 48 * KIB},  # not a multiple
+        {"partitions": 0},
+        {"timing": TimingKind.PAUSE},  # pause without pause_usec
+        {"timing": TimingKind.BURST, "pause_usec": 1.0},  # burst without size
+    ],
+)
+def test_invalid_specs_rejected(kwargs):
+    with pytest.raises(PatternError):
+        seq_spec(**kwargs)
+
+
+def test_partitioned_validation():
+    with pytest.raises(PatternError):
+        seq_spec(
+            location=LocationKind.PARTITIONED,
+            partitions=3,
+            target_size=16 * 32 * KIB,
+        )
+
+
+def test_default_target_size_is_footprint():
+    spec = seq_spec(io_count=10)
+    assert spec.target_size == 10 * 32 * KIB
+    assert spec.slots == 10
+
+
+def test_labels():
+    assert seq_spec().label == "SW"
+    assert seq_spec(mode=Mode.READ).label == "SR"
+    assert seq_spec(location=LocationKind.RANDOM).label == "RW"
+    assert seq_spec(location=LocationKind.ORDERED).label == "OW"
+
+
+def test_with_updates_and_relabels():
+    spec = seq_spec()
+    changed = spec.with_(mode=Mode.READ)
+    assert changed.label == "SR"
+    assert changed.io_size == spec.io_size
+
+
+def test_fits():
+    spec = seq_spec(io_count=8)
+    assert spec.fits(8 * 32 * KIB)
+    assert not spec.fits(8 * 32 * KIB - 1)
+
+
+# ----------------------------------------------------------------------
+# mix and parallel wrappers
+# ----------------------------------------------------------------------
+
+def test_mix_requires_disjoint_targets():
+    a = seq_spec(io_count=8)
+    b = seq_spec(io_count=8)
+    with pytest.raises(PatternError):
+        MixSpec(primary=a, secondary=b)
+    ok = MixSpec(primary=a, secondary=b.with_(target_offset=1 * MIB), ratio=2)
+    assert ok.io_count == 16
+
+
+def test_mix_component_schedule():
+    a = seq_spec(io_count=8)
+    b = seq_spec(io_count=8, target_offset=1 * MIB)
+    mix = MixSpec(primary=a, secondary=b, ratio=3)
+    # 3 primaries then 1 secondary, repeating
+    schedule = [mix.component_for(i) for i in range(8)]
+    assert schedule == [0, 0, 0, 1, 0, 0, 0, 1]
+
+
+def test_mix_label():
+    a = seq_spec(io_count=8, mode=Mode.READ)
+    b = seq_spec(io_count=8, target_offset=1 * MIB)
+    assert MixSpec(primary=a, secondary=b, ratio=2).label == "2 SR / 1 SW"
+
+
+def test_parallel_splits_target_space():
+    base = seq_spec(io_count=16, target_size=16 * 32 * KIB)
+    parallel = ParallelSpec(base=base, parallel_degree=4)
+    specs = parallel.process_specs()
+    assert len(specs) == 4
+    # Table 1: TargetOffset_p = p x TargetSize/Degree
+    assert [s.target_offset for s in specs] == [
+        0, 4 * 32 * KIB, 8 * 32 * KIB, 12 * 32 * KIB
+    ]
+    assert all(s.target_size == 4 * 32 * KIB for s in specs)
+    assert all(s.io_count == 4 for s in specs)
+    # footprints must not overlap
+    ends = [s.footprint for s in specs]
+    for (start_a, end_a), (start_b, __) in zip(ends, ends[1:]):
+        assert end_a <= start_b
+
+
+def test_parallel_validation():
+    base = seq_spec(io_count=6, target_size=6 * 32 * KIB)
+    with pytest.raises(PatternError):
+        ParallelSpec(base=base, parallel_degree=4)  # 6 not divisible by 4
+
+
+def test_baselines_cover_four_patterns():
+    specs = baselines(io_size=32 * KIB, io_count=32)
+    assert set(specs) == {"SR", "RR", "SW", "RW"}
+    assert specs["SR"].mode is Mode.READ
+    assert specs["RW"].location is LocationKind.RANDOM
+    assert specs["SW"].target_size == 32 * 32 * KIB
+
+
+def test_baselines_custom_areas():
+    specs = baselines(
+        io_size=32 * KIB, io_count=64,
+        random_target_size=4 * MIB, sequential_target_size=1 * MIB,
+    )
+    assert specs["RR"].target_size == 4 * MIB
+    assert specs["SW"].target_size == 1 * MIB  # capped

@@ -1,0 +1,98 @@
+"""Two-phase model detection on synthetic and simulated traces."""
+
+import numpy as np
+import pytest
+
+from repro.core.patterns import baselines
+from repro.core.phases import PhaseProfile, detect_phases, measure_phases
+from repro.errors import AnalysisError
+from repro.units import KIB, MIB, SEC
+
+
+def test_uniform_trace_has_no_phases():
+    analysis = detect_phases([100.0] * 64)
+    assert not analysis.has_startup
+    assert not analysis.oscillates
+    assert analysis.expensive_fraction == 0.0
+
+
+def test_clean_startup_then_oscillation():
+    # 40 cheap IOs, then oscillation: 7 cheap / 1 expensive
+    trace = [400.0] * 40 + ([400.0] * 7 + [27_000.0]) * 20
+    analysis = detect_phases(trace)
+    assert analysis.has_startup
+    assert 35 <= analysis.startup <= 48
+    assert analysis.period == 8
+    assert analysis.cheap_level_usec < 1000.0
+    assert analysis.expensive_level_usec > 10_000.0
+
+
+def test_oscillation_without_startup():
+    # the Kingston DTI shape of Figure 4: period ~= 8, no start-up
+    trace = ([1_000.0] * 7 + [100_000.0]) * 32
+    analysis = detect_phases(trace)
+    assert analysis.startup == 0
+    assert analysis.period == 8
+
+
+def test_tiny_cheap_prefix_not_mistaken_for_startup():
+    trace = ([400.0] * 3 + [20_000.0]) * 32
+    analysis = detect_phases(trace)
+    assert analysis.startup == 0
+
+
+def test_threshold_is_log_scale_midpoint():
+    trace = [100.0] * 50 + [10_000.0] * 50
+    analysis = detect_phases(trace)
+    assert analysis.threshold_usec == pytest.approx(
+        np.sqrt(analysis.cheap_level_usec * analysis.expensive_level_usec)
+    )
+
+
+def test_detect_needs_enough_data():
+    with pytest.raises(AnalysisError):
+        detect_phases([1.0] * 8)
+
+
+def test_detect_rejects_nonpositive():
+    with pytest.raises(AnalysisError):
+        detect_phases([1.0] * 20 + [0.0])
+
+
+def test_summary_text():
+    analysis = detect_phases([400.0] * 40 + ([400.0] * 7 + [27_000.0]) * 20)
+    text = analysis.summary()
+    assert "startup=" in text and "period=" in text
+
+
+def test_phase_profile_bounds():
+    from repro.core.phases import PhaseAnalysis
+
+    profile = PhaseProfile(
+        analyses={
+            "SR": PhaseAnalysis(0, None, 1, 1, 1, 0.0),
+            "RW": PhaseAnalysis(120, 9, 1, 1, 1, 0.1),
+            "SW": PhaseAnalysis(10, 16, 1, 1, 1, 0.1),
+        }
+    )
+    assert profile.startup_bound == 120
+    assert profile.period_bound == 16
+    assert profile.startup_for("RW") == 120
+    assert profile.startup_for("unknown") == 0
+
+
+def test_measure_phases_on_mtron(enforced_mtron):
+    """Section 5.1: Mtron shows an RW start-up phase; reads do not."""
+    device = enforced_mtron
+    specs = baselines(
+        io_size=32 * KIB,
+        io_count=512,
+        random_target_size=device.capacity,
+        sequential_target_size=device.capacity,
+    )
+    profile = measure_phases(device, specs)
+    assert profile.analyses["SR"].startup == 0
+    assert not profile.analyses["SR"].oscillates
+    assert profile.analyses["RW"].has_startup
+    assert profile.analyses["RW"].oscillates
+    assert profile.startup_bound >= 50

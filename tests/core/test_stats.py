@@ -1,0 +1,89 @@
+"""Run statistics: summaries, warm-up exclusion, convergence."""
+
+import numpy as np
+import pytest
+
+from repro.core.stats import (
+    converged,
+    relative_difference,
+    running_average,
+    summarize,
+)
+from repro.errors import AnalysisError
+
+
+def test_summarize_basic():
+    stats = summarize([100.0, 200.0, 300.0])
+    assert stats.count == 3
+    assert stats.min_usec == 100.0
+    assert stats.max_usec == 300.0
+    assert stats.mean_usec == pytest.approx(200.0)
+    assert stats.median_usec == pytest.approx(200.0)
+    assert stats.total_usec == pytest.approx(600.0)
+
+
+def test_summarize_excludes_warmup():
+    # cheap start-up followed by the real running phase (Section 4.2)
+    responses = [10.0] * 5 + [1000.0] * 10
+    naive = summarize(responses)
+    correct = summarize(responses, io_ignore=5)
+    assert naive.mean_usec < correct.mean_usec
+    assert correct.mean_usec == pytest.approx(1000.0)
+    assert correct.ignored == 5
+    assert correct.count == 10
+
+
+def test_summarize_empty_rejected():
+    with pytest.raises(AnalysisError):
+        summarize([])
+
+
+def test_summarize_ignore_everything_rejected():
+    with pytest.raises(AnalysisError):
+        summarize([1.0, 2.0], io_ignore=2)
+
+
+def test_mean_msec_conversion():
+    assert summarize([5000.0]).mean_msec == pytest.approx(5.0)
+
+
+def test_running_average_includes_vs_excludes():
+    # Figure 3's two overlays
+    responses = [10.0] * 4 + [100.0] * 4
+    incl = running_average(responses)
+    excl = running_average(responses, skip=4)
+    assert incl[-1] == pytest.approx(55.0)
+    assert np.isnan(excl[:4]).all()
+    assert excl[-1] == pytest.approx(100.0)
+    # excluding the start-up converges to the true level faster
+    assert abs(excl[-1] - 100.0) < abs(incl[-1] - 100.0)
+
+
+def test_running_average_skip_too_big():
+    with pytest.raises(AnalysisError):
+        running_average([1.0, 2.0], skip=2)
+
+
+def test_converged_on_stable_series():
+    assert converged([100.0] * 64, io_ignore=0)
+
+
+def test_not_converged_on_trend():
+    rising = list(np.linspace(10.0, 1000.0, 64))
+    assert not converged(rising, io_ignore=0)
+
+
+def test_converged_needs_enough_samples():
+    assert not converged([1.0] * 4, io_ignore=0)
+
+
+def test_relative_difference():
+    assert relative_difference(100.0, 100.0) == 0.0
+    assert relative_difference(100.0, 95.0) == pytest.approx(0.05)
+    assert relative_difference(0.0, 0.0) == 0.0
+
+
+def test_summary_text():
+    text = summarize([1000.0, 2000.0], io_ignore=0).summary()
+    assert "mean=1.500ms" in text
+    assert "n=2" in text

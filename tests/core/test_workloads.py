@@ -1,0 +1,113 @@
+"""Composite workload builders and evaluation."""
+
+import pytest
+
+from repro.core.workloads import (
+    WorkloadReport,
+    btree_inserts,
+    evaluate_workload,
+    external_sort_merge,
+    log_structured_writer,
+    oltp_mix,
+    wal_commit,
+)
+from repro.errors import PatternError
+from repro.iotypes import Mode
+from repro.units import KIB, MIB
+
+from tests.conftest import make_device
+
+CAPACITY = 1 * MIB
+
+
+def test_oltp_mix_shape():
+    mix = oltp_mix(CAPACITY, page_size=16 * KIB, io_count=40, reads_per_write=4)
+    assert mix.ratio == 4
+    assert mix.primary.mode is Mode.READ
+    assert mix.secondary.mode is Mode.WRITE
+    # components on disjoint halves
+    assert mix.primary.footprint[1] <= mix.secondary.footprint[0]
+
+
+def test_oltp_mix_working_set():
+    mix = oltp_mix(CAPACITY, page_size=16 * KIB, working_set=64 * KIB)
+    assert mix.primary.target_size == 64 * KIB
+    assert mix.secondary.target_size == 64 * KIB
+    with pytest.raises(PatternError):
+        oltp_mix(CAPACITY, page_size=16 * KIB, working_set=1 * KIB)
+
+
+def test_log_structured_writer_wraps_in_log_area():
+    spec = log_structured_writer(CAPACITY, record_size=16 * KIB,
+                                 io_count=128, log_bytes=256 * KIB)
+    assert spec.target_size == 256 * KIB
+    # wraps: IO 16 lands where IO 0 did
+    assert spec.lba(16) == spec.lba(0)
+    with pytest.raises(PatternError):
+        log_structured_writer(CAPACITY, record_size=16 * KIB, log_bytes=1 * KIB)
+
+
+def test_external_sort_merge_partitions():
+    spec = external_sort_merge(CAPACITY, fan_out=4, run_bytes=128 * KIB,
+                               io_size=16 * KIB)
+    assert spec.partitions == 4
+    assert spec.target_size == 4 * 128 * KIB
+    with pytest.raises(PatternError):
+        external_sort_merge(CAPACITY, fan_out=0)
+    with pytest.raises(PatternError):
+        external_sort_merge(CAPACITY, fan_out=64, run_bytes=1 * MIB)
+
+
+def test_btree_inserts_components():
+    mix = btree_inserts(CAPACITY, page_size=16 * KIB, io_count=64,
+                        leaf_working_set=128 * KIB)
+    assert mix.primary.target_size == 128 * KIB
+    assert mix.secondary.location.value == "sequential"
+
+
+def test_wal_commit_variants():
+    naive = wal_commit(CAPACITY, flash_aware=False, io_count=32)
+    aware = wal_commit(CAPACITY, flash_aware=True, io_count=32)
+    assert naive.secondary.incr == 0  # the in-place header
+    assert aware.primary.io_size == 32 * KIB
+    assert aware.secondary.location.value == "sequential"
+
+
+def test_evaluate_workload_reports():
+    device = make_device()
+    spec = log_structured_writer(device.capacity, record_size=16 * KIB,
+                                 io_count=64)
+    report = evaluate_workload(device, "log", spec)
+    assert report.io_count == 64
+    assert report.bytes_written == 64 * 16 * KIB
+    assert report.throughput_mib_s > 0
+    assert report.write_amplification >= 0.9  # every host page programmed
+    assert "log:" in report.summary()
+
+
+def test_evaluate_workload_mix():
+    device = make_device()
+    mix = oltp_mix(device.capacity, page_size=16 * KIB, io_count=64,
+                   reads_per_write=3)
+    report = evaluate_workload(device, "oltp", mix)
+    assert report.io_count == 64
+    # only the write quarter moves bytes into the store
+    assert report.bytes_written == 16 * 16 * KIB
+
+
+def test_flash_aware_wal_beats_naive_on_device():
+    """The whole point of the workload library: designs are comparable
+    on a simulated device in one call each."""
+    device = make_device(ftl_kind="blockmap")
+    naive = evaluate_workload(
+        device, "naive", wal_commit(device.capacity, flash_aware=False,
+                                    io_count=96)
+    )
+    aware = evaluate_workload(
+        device, "aware", wal_commit(device.capacity, flash_aware=True,
+                                    io_count=96)
+    )
+    # per-IO means are incomparable across record sizes; the design
+    # comparison is throughput (bytes of log durably written per time)
+    assert aware.throughput_mib_s > naive.throughput_mib_s
+    assert aware.write_amplification <= naive.write_amplification * 1.1

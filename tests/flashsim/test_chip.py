@@ -1,0 +1,173 @@
+"""NAND chip state machine: program-after-erase, in-order programming,
+erase granularity, endurance, bad blocks, fault injection."""
+
+import pytest
+
+from repro.errors import BadBlockError, EnduranceError, EraseError, ProgramError
+from repro.flashsim.chip import ERASED, FlashChip
+from repro.flashsim.geometry import Geometry
+from repro.units import KIB, MIB
+
+
+@pytest.fixture
+def small_chip() -> FlashChip:
+    geometry = Geometry(
+        page_size=2 * KIB, pages_per_block=4, logical_bytes=1 * MIB,
+        physical_blocks=140,
+    )
+    return FlashChip(geometry, endurance=3)
+
+
+def test_reads_of_erased_pages_return_erased(small_chip):
+    assert small_chip.read(0, 0) == ERASED
+    assert small_chip.read(5, 3) == ERASED
+
+
+def test_program_then_read(small_chip):
+    small_chip.program(0, 0, 41)
+    assert small_chip.read(0, 0) == 41
+    assert small_chip.write_point(0) == 1
+
+
+def test_sequential_programming_enforced(small_chip):
+    small_chip.program(1, 0, 1)
+    with pytest.raises(ProgramError):
+        small_chip.program(1, 2, 2)  # skipping page 1
+
+
+def test_cannot_program_same_page_twice(small_chip):
+    small_chip.program(2, 0, 1)
+    with pytest.raises(ProgramError):
+        small_chip.program(2, 0, 2)
+
+
+def test_negative_token_rejected(small_chip):
+    with pytest.raises(ProgramError):
+        small_chip.program(0, 0, -5)
+
+
+def test_erase_resets_block(small_chip):
+    for offset in range(4):
+        small_chip.program(3, offset, offset + 1)
+    small_chip.erase(3)
+    assert small_chip.is_erased(3)
+    assert small_chip.write_point(3) == 0
+    assert small_chip.read(3, 2) == ERASED
+    small_chip.program(3, 0, 9)  # programmable again
+    assert small_chip.read(3, 0) == 9
+
+
+def test_erase_count_tracked(small_chip):
+    assert small_chip.erase_count(7) == 0
+    small_chip.erase(7)
+    small_chip.erase(7)
+    assert small_chip.erase_count(7) == 2
+
+
+def test_endurance_limit_retires_block(small_chip):
+    for _ in range(3):
+        small_chip.erase(9)
+    with pytest.raises(EnduranceError):
+        small_chip.erase(9)
+    assert small_chip.is_bad(9)
+
+
+def test_bad_block_rejects_everything(small_chip):
+    small_chip.mark_bad(4)
+    with pytest.raises(BadBlockError):
+        small_chip.program(4, 0, 1)
+    with pytest.raises(BadBlockError):
+        small_chip.read(4, 0)
+    with pytest.raises(BadBlockError):
+        small_chip.erase(4)
+
+
+def test_out_of_range_addresses(small_chip):
+    nblocks = small_chip.geometry.physical_blocks
+    with pytest.raises(EraseError):
+        small_chip.erase(nblocks)
+    with pytest.raises(ProgramError):
+        small_chip.program(0, 99, 1)
+
+
+def test_stats_counted(small_chip):
+    small_chip.program(0, 0, 1)
+    small_chip.read(0, 0)
+    small_chip.erase(0)
+    assert small_chip.stats.page_programs == 1
+    assert small_chip.stats.page_reads == 1
+    assert small_chip.stats.block_erases == 1
+
+
+def test_good_blocks_and_wear_summary(small_chip):
+    total = small_chip.geometry.physical_blocks
+    assert small_chip.good_blocks() == total
+    small_chip.mark_bad(0)
+    assert small_chip.good_blocks() == total - 1
+    small_chip.erase(1)
+    summary = small_chip.wear_summary()
+    assert summary["max"] == 1.0
+    assert summary["min"] == 0.0
+
+
+def test_two_plane_assignment():
+    geometry = Geometry(
+        page_size=2 * KIB, pages_per_block=4, logical_bytes=1 * MIB,
+        physical_blocks=140, planes=2,
+    )
+    chip = FlashChip(geometry)
+    assert chip.plane_of(0) == 0
+    assert chip.plane_of(1) == 1
+    assert chip.plane_of(2) == 0
+
+
+class _FailNthProgram:
+    """Fault injector failing one specific program operation."""
+
+    def __init__(self, fail_at: int) -> None:
+        self.count = 0
+        self.fail_at = fail_at
+
+    def program_fails(self, block: int, page_offset: int) -> bool:
+        self.count += 1
+        return self.count == self.fail_at
+
+    def erase_fails(self, block: int) -> bool:
+        return False
+
+
+def test_injected_program_failure_marks_block_bad():
+    geometry = Geometry(
+        page_size=2 * KIB, pages_per_block=4, logical_bytes=1 * MIB,
+        physical_blocks=140,
+    )
+    chip = FlashChip(geometry, fault_injector=_FailNthProgram(2))
+    chip.program(0, 0, 1)
+    with pytest.raises(ProgramError):
+        chip.program(0, 1, 2)
+    assert chip.is_bad(0)
+    assert chip.stats.program_failures == 1
+
+
+class _FailEveryErase:
+    def program_fails(self, block: int, page_offset: int) -> bool:
+        return False
+
+    def erase_fails(self, block: int) -> bool:
+        return True
+
+
+def test_injected_erase_failure_marks_block_bad():
+    geometry = Geometry(
+        page_size=2 * KIB, pages_per_block=4, logical_bytes=1 * MIB,
+        physical_blocks=140,
+    )
+    chip = FlashChip(geometry, fault_injector=_FailEveryErase())
+    with pytest.raises(EraseError):
+        chip.erase(3)
+    assert chip.is_bad(3)
+
+
+def test_invalid_endurance_rejected():
+    with pytest.raises(ValueError):
+        FlashChip(Geometry(), endurance=0)

@@ -1,0 +1,49 @@
+"""Simulated clock semantics."""
+
+import pytest
+
+from repro.flashsim.clock import SimClock
+
+
+def test_starts_at_zero():
+    assert SimClock().now == 0.0
+
+
+def test_advance_to_moves_forward():
+    clock = SimClock()
+    assert clock.advance_to(10.0) == 10.0
+    assert clock.now == 10.0
+
+
+def test_advance_to_past_is_noop():
+    clock = SimClock(start=100.0)
+    clock.advance_to(50.0)
+    assert clock.now == 100.0
+
+
+def test_advance_by():
+    clock = SimClock()
+    clock.advance_by(5.0)
+    clock.advance_by(2.5)
+    assert clock.now == 7.5
+
+
+def test_advance_by_negative_rejected():
+    clock = SimClock()
+    with pytest.raises(ValueError):
+        clock.advance_by(-1.0)
+
+
+def test_reset():
+    clock = SimClock(start=10.0)
+    clock.reset()
+    assert clock.now == 0.0
+    clock.reset(3.0)
+    assert clock.now == 3.0
+
+
+def test_negative_start_rejected():
+    with pytest.raises(ValueError):
+        SimClock(start=-1.0)
+    with pytest.raises(ValueError):
+        SimClock().reset(-1.0)

@@ -1,0 +1,149 @@
+"""Controller: extent validation, RMW, mapping-unit expansion, map-miss
+charging and the read-your-writes shadow."""
+
+import pytest
+
+from repro.errors import AddressError, FTLError
+from repro.flashsim.chip import FlashChip
+from repro.flashsim.controller import Controller, ControllerConfig
+from repro.flashsim.ftl.hybrid import HybridConfig, HybridLogFTL
+from repro.flashsim.timing import CostAccumulator
+from repro.units import KIB
+
+
+def make_controller(geometry, mapping_unit=0, cache_bytes=0):
+    chip = FlashChip(geometry)
+    ftl = HybridLogFTL(
+        geometry, chip, HybridConfig(seq_log_blocks=2, rnd_log_blocks=4)
+    )
+    config = ControllerConfig(mapping_unit=mapping_unit, cache_bytes=cache_bytes)
+    return Controller(geometry, ftl, config)
+
+
+def test_extent_validation(geometry):
+    controller = make_controller(geometry)
+    cost = CostAccumulator()
+    with pytest.raises(AddressError):
+        controller.read(0, 0, cost)
+    with pytest.raises(AddressError):
+        controller.write(geometry.logical_bytes, 1, cost)
+    with pytest.raises(AddressError):
+        controller.read(geometry.logical_bytes - 1, 2, cost)
+
+
+def test_write_then_read_round_trip(geometry):
+    controller = make_controller(geometry)
+    cost = CostAccumulator()
+    controller.write(0, 8 * KIB, cost)
+    read_cost = CostAccumulator()
+    controller.read(0, 8 * KIB, read_cost)  # shadow check runs inside
+    assert read_cost.page_reads == 4
+    assert read_cost.bytes_transferred == 8 * KIB
+
+
+def test_aligned_write_has_no_rmw_reads(geometry):
+    controller = make_controller(geometry)
+    cost = CostAccumulator()
+    controller.write(0, 4 * geometry.page_size, cost)
+    assert cost.page_reads == 0
+    assert cost.page_programs == 4
+
+
+def test_unaligned_write_pays_rmw(geometry):
+    controller = make_controller(geometry)
+    setup = CostAccumulator()
+    controller.write(0, 8 * geometry.page_size, setup)
+    cost = CostAccumulator()
+    # misaligned by half a page: straddles 5 pages, 2 partially covered
+    controller.write(geometry.page_size // 2, 4 * geometry.page_size, cost)
+    assert cost.page_programs == 5
+    assert cost.page_reads == 2  # head + tail RMW reads
+
+
+def test_unaligned_write_of_unwritten_pages_skips_rmw_reads(geometry):
+    controller = make_controller(geometry)
+    cost = CostAccumulator()
+    controller.write(geometry.page_size // 2, 4 * geometry.page_size, cost)
+    # nothing was ever written: no old content to read
+    assert cost.page_reads == 0
+    assert cost.page_programs == 5
+
+
+def test_mapping_unit_expansion(geometry):
+    # 4-page mapping unit: a 1-page write programs the whole unit
+    unit = 4 * geometry.page_size
+    controller = make_controller(geometry, mapping_unit=unit)
+    cost = CostAccumulator()
+    controller.write(geometry.page_size, geometry.page_size, cost)
+    assert cost.page_programs == 4
+
+
+def test_mapping_unit_must_be_page_multiple(geometry):
+    with pytest.raises(FTLError):
+        make_controller(geometry, mapping_unit=geometry.page_size + 512)
+
+
+def test_rmw_preserves_logical_content(geometry):
+    controller = make_controller(geometry)
+    first = CostAccumulator()
+    controller.write(0, 4 * geometry.page_size, first)
+    tokens_before = [controller.expected_token(i) for i in range(4)]
+    # partial overwrite of page 1 only
+    partial = CostAccumulator()
+    controller.write(geometry.page_size, 512, partial)
+    # untouched pages keep their tokens; reads must still verify
+    assert controller.expected_token(0) == tokens_before[0]
+    assert controller.expected_token(2) == tokens_before[2]
+    check = CostAccumulator()
+    controller.read(0, 4 * geometry.page_size, check)
+
+
+def test_map_miss_charged_on_non_contiguous_access(geometry):
+    controller = make_controller(geometry)
+    cost1 = CostAccumulator()
+    controller.read(0, 4 * KIB, cost1)
+    cost2 = CostAccumulator()
+    controller.read(4 * KIB, 4 * KIB, cost2)  # contiguous: no miss
+    cost3 = CostAccumulator()
+    controller.read(512 * KIB, 4 * KIB, cost3)  # jump: miss
+    assert cost2.map_misses == 0
+    assert cost3.map_misses == 1
+
+
+def test_reset_access_history(geometry):
+    controller = make_controller(geometry)
+    cost = CostAccumulator()
+    controller.read(0, 4 * KIB, cost)
+    controller.reset_access_history()
+    cost2 = CostAccumulator()
+    controller.read(4 * KIB, 4 * KIB, cost2)
+    assert cost2.map_misses == 0  # history cleared: first access is free
+
+
+def test_shadow_detects_corruption(geometry):
+    controller = make_controller(geometry)
+    cost = CostAccumulator()
+    controller.write(0, geometry.page_size, cost)
+    # corrupt the FTL's view behind the controller's back
+    bad = CostAccumulator()
+    controller.ftl.write_page(0, 999_999, bad)
+    with pytest.raises(FTLError, match="read-your-writes"):
+        controller.read(0, geometry.page_size, CostAccumulator())
+
+
+def test_cache_serves_dirty_reads_without_flash(geometry):
+    controller = make_controller(geometry, cache_bytes=16 * geometry.page_size)
+    controller.write(0, 4 * geometry.page_size, CostAccumulator())
+    cost = CostAccumulator()
+    controller.read(0, 4 * geometry.page_size, cost)
+    assert cost.page_reads == 0  # served from RAM
+    assert cost.bytes_transferred == 4 * geometry.page_size
+
+
+def test_flush_cache(geometry):
+    controller = make_controller(geometry, cache_bytes=16 * geometry.page_size)
+    controller.write(0, 4 * geometry.page_size, CostAccumulator())
+    cost = CostAccumulator()
+    assert controller.flush_cache(cost) == 4
+    assert cost.page_programs == 4
+    assert controller.flush_cache(CostAccumulator()) == 0

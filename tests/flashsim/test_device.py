@@ -1,0 +1,142 @@
+"""FlashDevice: single-queue timing, background credit, idle/drain,
+read interference, accounting."""
+
+import pytest
+
+from repro.errors import AddressError
+from repro.flashsim.device import BackgroundPolicy
+from repro.flashsim.timing import TimingSpec
+from repro.iotypes import IORequest, Mode
+from repro.units import KIB
+
+from tests.conftest import make_device
+
+
+def test_basic_write_and_read():
+    device = make_device()
+    done = device.write(0, 8 * KIB)
+    assert done.response_usec > 0
+    read = device.read(0, 8 * KIB, now=done.completed_at)
+    assert read.response_usec > 0
+    device.check_invariants()
+
+
+def test_out_of_range_rejected():
+    device = make_device()
+    with pytest.raises(AddressError):
+        device.read(device.capacity, 1 * KIB)
+
+
+def test_single_queue_serialises_ios():
+    device = make_device()
+    first = device.submit(IORequest(0, 0, 8 * KIB, Mode.WRITE, 0.0), 0.0)
+    # submitted while the device is still busy: starts after completion
+    second = device.submit(IORequest(1, 8 * KIB, 8 * KIB, Mode.WRITE, 0.0), 0.0)
+    assert second.started_at == pytest.approx(first.completed_at)
+    assert second.response_usec > second.service_usec or (
+        second.response_usec == pytest.approx(
+            second.service_usec + first.completed_at
+        )
+    )
+
+
+def test_response_includes_queueing_service_does_not():
+    device = make_device()
+    first = device.submit(IORequest(0, 0, 8 * KIB, Mode.WRITE, 0.0), 0.0)
+    second = device.submit(IORequest(1, 8 * KIB, 8 * KIB, Mode.WRITE, 0.0), 0.0)
+    assert second.response_usec == pytest.approx(
+        first.service_usec + second.service_usec
+    )
+
+
+def test_stats_accounting():
+    device = make_device()
+    device.write(0, 8 * KIB)
+    device.read(0, 4 * KIB, now=device.busy_until)
+    assert device.stats.writes == 1
+    assert device.stats.reads == 1
+    assert device.stats.bytes_written == 8 * KIB
+    assert device.stats.bytes_read == 4 * KIB
+    assert device.stats.busy_usec > 0
+
+
+def test_background_work_done_during_idle():
+    device = make_device(bg=True)
+    # scatter random single-page writes: opens logs, defers merges
+    now = 0.0
+    ppb = device.geometry.pages_per_block
+    for block in range(12):
+        done = device.write(block * ppb * 2 * KIB + 2 * KIB, 2 * KIB, now=now)
+        now = done.completed_at
+    assert device.background_pending()
+    device.idle(now + 60_000_000.0)  # a minute of idle
+    assert not device.background_pending()
+    assert device.stats.background_units > 0
+    device.check_invariants()
+
+
+def test_short_idle_does_less_background_work():
+    def scattered(device):
+        now = 0.0
+        ppb = device.geometry.pages_per_block
+        for block in range(12):
+            done = device.write(block * ppb * 2 * KIB + 2 * KIB, 2 * KIB, now=now)
+            now = done.completed_at
+        return now
+
+    short = make_device(bg=True)
+    end = scattered(short)
+    short.idle(end + 100.0)  # 100us: not even one merge
+    long_dev = make_device(bg=True)
+    end = scattered(long_dev)
+    long_dev.idle(end + 60_000_000.0)
+    assert short.stats.background_units < long_dev.stats.background_units
+
+
+def test_reads_pay_interference_while_background_pending():
+    device = make_device(
+        bg=True,
+    )
+    device.background = BackgroundPolicy(
+        read_concurrency=0.0, read_interference=2.0
+    )
+    now = 0.0
+    ppb = device.geometry.pages_per_block
+    for block in range(12):
+        done = device.write(block * ppb * 2 * KIB + 2 * KIB, 2 * KIB, now=now)
+        now = done.completed_at
+    assert device.background_pending()
+    slowed = device.read(0, 8 * KIB, now=now)
+    device.drain()
+    clean = device.read(0, 8 * KIB, now=device.busy_until)
+    assert slowed.service_usec > clean.service_usec * 1.5
+    assert device.stats.interfered_reads >= 1
+
+
+def test_drain_completes_everything():
+    device = make_device(bg=True, cache_bytes=16 * 2 * KIB)
+    device.write(0, 8 * KIB)
+    assert device.controller.cache.dirty_pages > 0
+    device.drain()
+    assert device.controller.cache.dirty_pages == 0
+    assert not device.background_pending()
+
+
+def test_background_policy_validation():
+    with pytest.raises(ValueError):
+        BackgroundPolicy(read_concurrency=1.5)
+    with pytest.raises(ValueError):
+        BackgroundPolicy(read_interference=0.5)
+
+
+def test_describe():
+    device = make_device()
+    assert "HybridLogFTL" in device.describe()
+
+
+def test_timing_scales_response():
+    slow = make_device(timing=TimingSpec(transfer_per_kib=100.0))
+    fast = make_device(timing=TimingSpec(transfer_per_kib=1.0))
+    slow_io = slow.write(0, 32 * KIB)
+    fast_io = fast.write(0, 32 * KIB)
+    assert slow_io.service_usec > fast_io.service_usec

@@ -1,0 +1,99 @@
+"""Geometry: construction rules, derived quantities, address math."""
+
+import pytest
+
+from repro.errors import GeometryError
+from repro.flashsim.geometry import Geometry
+from repro.units import KIB, MIB
+
+
+def test_defaults_are_consistent():
+    geometry = Geometry()
+    assert geometry.block_size == geometry.page_size * geometry.pages_per_block
+    assert geometry.logical_blocks * geometry.block_size == geometry.logical_bytes
+    assert geometry.physical_blocks > geometry.logical_blocks
+    assert geometry.spare_blocks == geometry.physical_blocks - geometry.logical_blocks
+
+
+def test_default_overprovisioning_is_about_seven_percent():
+    geometry = Geometry(logical_bytes=64 * MIB)
+    ratio = geometry.spare_blocks / geometry.logical_blocks
+    assert 0.05 <= ratio <= 0.10
+
+
+def test_explicit_physical_blocks_respected():
+    geometry = Geometry(logical_bytes=1 * MIB, page_size=2 * KIB,
+                        pages_per_block=8, physical_blocks=80)
+    assert geometry.physical_blocks == 80
+    assert geometry.spare_blocks == 80 - 64
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"page_size": 0},
+        {"page_size": 1000},  # not a sector multiple
+        {"pages_per_block": 0},
+        {"logical_bytes": 0},
+        {"logical_bytes": 100},  # not block aligned
+        {"planes": 3},
+    ],
+)
+def test_invalid_geometry_rejected(kwargs):
+    with pytest.raises(GeometryError):
+        Geometry(**kwargs)
+
+
+def test_physical_must_exceed_logical():
+    with pytest.raises(GeometryError):
+        Geometry(
+            page_size=2 * KIB,
+            pages_per_block=8,
+            logical_bytes=1 * MIB,
+            physical_blocks=64,
+        )
+
+
+def test_page_of_byte_and_offsets():
+    geometry = Geometry(page_size=2 * KIB, pages_per_block=8, logical_bytes=1 * MIB)
+    assert geometry.page_of_byte(0) == 0
+    assert geometry.page_of_byte(2 * KIB - 1) == 0
+    assert geometry.page_of_byte(2 * KIB) == 1
+    page = 8 * 3 + 5
+    assert geometry.block_of_page(page) == 3
+    assert geometry.page_offset_in_block(page) == 5
+    assert geometry.first_page_of_block(3) == 24
+
+
+def test_page_span_aligned():
+    geometry = Geometry(page_size=2 * KIB, pages_per_block=8, logical_bytes=1 * MIB)
+    span = geometry.page_span(4 * KIB, 8 * KIB)
+    assert list(span) == [2, 3, 4, 5]
+
+
+def test_page_span_unaligned_touches_extra_page():
+    geometry = Geometry(page_size=2 * KIB, pages_per_block=8, logical_bytes=1 * MIB)
+    aligned = geometry.page_span(0, 8 * KIB)
+    shifted = geometry.page_span(512, 8 * KIB)
+    assert len(shifted) == len(aligned) + 1
+
+
+def test_page_span_rejects_empty():
+    geometry = Geometry(page_size=2 * KIB, pages_per_block=8, logical_bytes=1 * MIB)
+    with pytest.raises(GeometryError):
+        geometry.page_span(0, 0)
+
+
+def test_contains():
+    geometry = Geometry(page_size=2 * KIB, pages_per_block=8, logical_bytes=1 * MIB)
+    assert geometry.contains(0, 1 * MIB)
+    assert not geometry.contains(0, 1 * MIB + 1)
+    assert not geometry.contains(-1, 1)
+    assert geometry.contains(1 * MIB - 1, 1)
+
+
+def test_describe_mentions_key_numbers():
+    geometry = Geometry(page_size=2 * KIB, pages_per_block=8, logical_bytes=1 * MIB)
+    text = geometry.describe()
+    assert "1M logical" in text
+    assert "2K pages" in text

@@ -1,0 +1,105 @@
+"""Host models: synchronous feedback-driven submission, parallel event
+loop, serialization on the single device queue."""
+
+import pytest
+
+from repro.flashsim.host import ParallelHost, SyncHost, feed_from_iterable
+from repro.iotypes import IORequest, Mode
+from repro.units import KIB
+
+from tests.conftest import make_device
+
+
+def requests(count, stride=8 * KIB, mode=Mode.WRITE, start=0):
+    return [
+        IORequest(i, start + i * stride, 8 * KIB, mode, 0.0) for i in range(count)
+    ]
+
+
+def test_sync_host_runs_feed_to_exhaustion():
+    device = make_device()
+    host = SyncHost(device)
+    completions = host.run(feed_from_iterable(requests(5)))
+    assert len(completions) == 5
+    # consecutive: each IO starts when the previous completes
+    for earlier, later in zip(completions, completions[1:]):
+        assert later.started_at >= earlier.completed_at
+
+
+def test_sync_host_os_overhead_delays_submission():
+    no_overhead = make_device()
+    completions = SyncHost(no_overhead).run(feed_from_iterable(requests(3)))
+    base_end = completions[-1].completed_at
+    with_overhead = make_device()
+    host = SyncHost(with_overhead, os_overhead_usec=100.0)
+    delayed = host.run(feed_from_iterable(requests(3)))
+    assert delayed[-1].completed_at == pytest.approx(base_end + 300.0)
+
+
+def test_sync_host_respects_scheduled_times():
+    device = make_device()
+    host = SyncHost(device)
+    late = [IORequest(0, 0, 8 * KIB, Mode.WRITE, 5_000.0)]
+    completions = host.run(feed_from_iterable(late))
+    assert completions[0].submitted_at >= 5_000.0
+
+
+def test_parallel_host_serialises_on_the_device():
+    device = make_device()
+    host = ParallelHost(device)
+    feeds = [
+        feed_from_iterable(requests(4, start=0)),
+        feed_from_iterable(requests(4, start=256 * KIB)),
+    ]
+    per_process = host.run(feeds)
+    assert [len(c) for c in per_process] == [4, 4]
+    everything = sorted(
+        (c for completions in per_process for c in completions),
+        key=lambda c: c.started_at,
+    )
+    # no two IOs overlap in service
+    for earlier, later in zip(everything, everything[1:]):
+        assert later.started_at >= earlier.completed_at - 1e-9
+
+
+def test_parallel_host_no_throughput_gain():
+    """Hint 7's physics: total time with 2 processes equals the solo
+    total — a single queue gains nothing from parallel submission."""
+    solo_device = make_device()
+    solo = SyncHost(solo_device).run(feed_from_iterable(requests(8)))
+    solo_span = solo[-1].completed_at - solo[0].submitted_at
+
+    par_device = make_device()
+    host = ParallelHost(par_device)
+    feeds = [
+        feed_from_iterable(requests(4, start=0)),
+        feed_from_iterable(requests(4, start=256 * KIB)),
+    ]
+    per_process = host.run(feeds)
+    par_end = max(c.completed_at for completions in per_process for c in completions)
+    assert par_end >= solo_span * 0.9
+
+
+def test_parallel_response_times_include_queueing():
+    device = make_device()
+    host = ParallelHost(device)
+    feeds = [
+        feed_from_iterable(requests(4, start=0)),
+        feed_from_iterable(requests(4, start=256 * KIB)),
+    ]
+    per_process = host.run(feeds)
+    queued = [
+        c
+        for completions in per_process
+        for c in completions
+        if c.response_usec > c.service_usec + 1e-9
+    ]
+    assert queued  # someone always waits behind the other process
+
+
+def test_feed_from_iterable_ignores_feedback():
+    feed = feed_from_iterable(requests(2))
+    first = feed(None)
+    second = feed(None)
+    assert (first.index, second.index) == (0, 1)
+    assert feed(None) is None

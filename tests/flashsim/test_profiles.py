@@ -1,0 +1,98 @@
+"""Device profiles: registry, construction, Table 2 integrity."""
+
+import pytest
+
+from repro.errors import ProfileError
+from repro.flashsim.profiles import (
+    ALL_PROFILES,
+    TABLE3_PROFILES,
+    build_device,
+    get_profile,
+    profile_names,
+    scaled_profile,
+)
+from repro.paperdata import TABLE3
+from repro.units import GIB, MIB
+
+
+def test_eleven_paper_devices_plus_reference():
+    paper_devices = [p for p in ALL_PROFILES if p.brand != "(synthetic)"]
+    assert len(paper_devices) == 11
+    assert len(ALL_PROFILES) == 12
+
+
+def test_table3_profiles_all_registered():
+    for name in TABLE3_PROFILES:
+        assert get_profile(name).name == name
+    assert set(TABLE3_PROFILES) == set(TABLE3)
+
+
+def test_profile_lookup_unknown():
+    with pytest.raises(ProfileError):
+        get_profile("floppy_disk")
+
+
+def test_profile_names_match_registry():
+    names = profile_names()
+    assert len(names) == len(set(names))
+    assert "memoright" in names and "kingston_sd" in names
+
+
+@pytest.mark.parametrize("name", profile_names())
+def test_every_profile_builds_and_does_io(name):
+    device = build_device(name, logical_bytes=8 * MIB)
+    done = device.write(0, 32 * 1024)
+    assert done.response_usec > 0
+    read = device.read(0, 32 * 1024, now=done.completed_at)
+    assert read.response_usec > 0
+    device.check_invariants()
+
+
+def test_capacities_are_scaled_down():
+    for profile in ALL_PROFILES:
+        assert profile.sim_logical_bytes <= 128 * MIB
+        if profile.brand != "(synthetic)":
+            assert profile.real_capacity >= 2 * GIB
+
+
+def test_prices_follow_table2():
+    assert get_profile("memoright").price_usd == 943
+    assert get_profile("kingston_dti").price_usd == 17
+    assert get_profile("kingston_sd").price_usd == 12
+
+
+def test_highlighted_profiles_are_the_presented_seven():
+    highlighted = {p.name for p in ALL_PROFILES if p.highlighted}
+    assert highlighted == set(TABLE3_PROFILES)
+
+
+def test_geometry_override():
+    profile = get_profile("mtron")
+    geometry = profile.geometry(16 * MIB)
+    assert geometry.logical_bytes == 16 * MIB
+    assert geometry.spare_blocks == profile.spare_blocks
+
+
+def test_scaled_profile_overrides_fields():
+    quiet = scaled_profile("mtron", price_usd=1)
+    assert quiet.price_usd == 1
+    assert quiet.timing == get_profile("mtron").timing
+
+
+def test_ftl_kinds_cover_all_three_families():
+    kinds = {p.ftl_kind for p in ALL_PROFILES}
+    assert kinds == {"hybrid", "blockmap", "pagemap"}
+
+
+def test_high_end_profiles_have_background_reclamation():
+    assert get_profile("memoright").hybrid.bg_enabled
+    assert get_profile("mtron").hybrid.bg_enabled
+    assert not get_profile("samsung").hybrid.bg_enabled
+
+
+def test_samsung_has_16k_mapping_unit():
+    assert get_profile("samsung").controller.mapping_unit == 16 * 1024
+
+
+def test_dti_commit_boundary_is_32k():
+    assert get_profile("kingston_dti").blockmap.sync_commit_boundary == 32 * 1024

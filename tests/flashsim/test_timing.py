@@ -1,0 +1,106 @@
+"""Timing model: spec validation, cost accumulation, parallelism split."""
+
+import pytest
+
+from repro.flashsim.timing import (
+    MLC_TIMING,
+    SLC_TIMING,
+    CostAccumulator,
+    TimingSpec,
+)
+from repro.units import KIB
+
+
+def test_presets_ordering():
+    # MLC chips are slower on every axis (Section 2.1)
+    assert MLC_TIMING.read_page > SLC_TIMING.read_page
+    assert MLC_TIMING.program_page > SLC_TIMING.program_page
+    assert MLC_TIMING.erase_block > SLC_TIMING.erase_block
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"read_page": -1.0},
+        {"transfer_per_kib": -0.1},
+        {"parallelism": 0.5},
+        {"copy_parallelism": 0.0},
+        {"copy_page_extra": -5.0},
+    ],
+)
+def test_invalid_timing_rejected(kwargs):
+    with pytest.raises(ValueError):
+        TimingSpec(**kwargs)
+
+
+def test_transfer_scales_with_bytes():
+    timing = TimingSpec(transfer_per_kib=10.0)
+    assert timing.transfer(1 * KIB) == pytest.approx(10.0)
+    assert timing.transfer(32 * KIB) == pytest.approx(320.0)
+
+
+def test_host_parallelism_divides_flash_ops():
+    timing = TimingSpec(read_page=100.0, program_page=200.0, parallelism=4.0)
+    assert timing.read_pages(8) == pytest.approx(200.0)
+    assert timing.program_pages(8) == pytest.approx(400.0)
+
+
+def test_copy_path_uses_copy_parallelism_and_extra():
+    timing = TimingSpec(
+        read_page=100.0,
+        program_page=200.0,
+        parallelism=16.0,
+        copy_parallelism=2.0,
+        copy_page_extra=50.0,
+    )
+    # copies ignore the striped host parallelism
+    assert timing.copy_pages(4, 4) == pytest.approx((400.0 + 1000.0) / 2.0)
+
+
+def test_erase_uses_copy_parallelism():
+    timing = TimingSpec(erase_block=1000.0, copy_parallelism=2.0)
+    assert timing.erase_blocks(3) == pytest.approx(1500.0)
+
+
+def test_cost_accumulator_total():
+    timing = TimingSpec(
+        read_page=10.0,
+        program_page=20.0,
+        erase_block=100.0,
+        transfer_per_kib=1.0,
+        controller_overhead=5.0,
+        map_miss=7.0,
+    )
+    cost = CostAccumulator(
+        page_reads=2,
+        page_programs=3,
+        block_erases=1,
+        bytes_transferred=4 * KIB,
+        map_misses=1,
+        extra_usec=0.5,
+    )
+    expected = 20.0 + 60.0 + 100.0 + 4.0 + 7.0 + 0.5 + 5.0
+    assert cost.total(timing) == pytest.approx(expected)
+    assert cost.total(timing, include_overhead=False) == pytest.approx(expected - 5.0)
+
+
+def test_cost_accumulator_add_merges_everything():
+    a = CostAccumulator(page_reads=1, copy_reads=2, notes=["x"])
+    b = CostAccumulator(page_programs=3, copy_programs=4, block_erases=1, notes=["y"])
+    a.add(b)
+    assert (a.page_reads, a.page_programs) == (1, 3)
+    assert (a.copy_reads, a.copy_programs) == (2, 4)
+    assert a.block_erases == 1
+    assert a.notes == ["x", "y"]
+
+
+def test_is_empty():
+    assert CostAccumulator().is_empty()
+    assert not CostAccumulator(page_reads=1).is_empty()
+    assert not CostAccumulator(extra_usec=0.1).is_empty()
+
+
+def test_note_records_tags():
+    cost = CostAccumulator()
+    cost.note("full-merge")
+    assert cost.notes == ["full-merge"]

@@ -1,0 +1,101 @@
+"""End-to-end: the complete uFLIP methodology pipeline on one device.
+
+Mirrors the paper's workflow (Section 5.1): enforce the random state,
+measure start-up/period, derive run control, determine the inter-run
+pause, build a benchmark plan over several micro-benchmarks, execute
+it, and check that the results are coherent.
+"""
+
+import pytest
+
+from repro.core import (
+    BenchContext,
+    BenchmarkPlan,
+    baselines,
+    build_microbenchmark,
+    determine_pause,
+    enforce_random_state,
+    measure_phases,
+    rest_device,
+    run_control_for,
+)
+from repro.flashsim import build_device
+from repro.units import KIB, MIB, SEC
+
+
+@pytest.mark.slow
+def test_full_methodology_pipeline():
+    device = build_device("mtron", logical_bytes=32 * MIB)
+
+    # 1. state enforcement
+    report = enforce_random_state(device)
+    assert report.bytes_written >= device.capacity
+    rest_device(device, 60 * SEC)
+
+    # 2. start-up and running phases (Section 4.2)
+    specs = baselines(
+        io_size=32 * KIB,
+        io_count=512,
+        random_target_size=device.capacity,
+        sequential_target_size=device.capacity,
+    )
+    phases = measure_phases(device, specs)
+    io_ignore, io_count = run_control_for(
+        phases.startup_bound, phases.period_bound
+    )
+    assert io_ignore > 0  # this device has an RW start-up phase
+    rest_device(device, 60 * SEC)
+
+    # 3. inter-run pause (Section 4.3)
+    pause = determine_pause(
+        device, reads_before=128, write_count=192, reads_after=2048
+    )
+    assert pause.recommended_pause_usec >= 1.0 * SEC
+    rest_device(device, pause.recommended_pause_usec)
+
+    # 4. benchmark plan over several micro-benchmarks
+    ctx = BenchContext(
+        capacity=device.capacity,
+        io_size=32 * KIB,
+        io_count=min(io_count, 160),
+        io_ignore=min(io_ignore, 100),
+    )
+    experiments = []
+    for name in ("granularity", "locality", "order"):
+        bench = build_microbenchmark(
+            name,
+            ctx,
+            **(
+                {"sizes": (8 * KIB, 32 * KIB)}
+                if name == "granularity"
+                else {"increments": (-1, 0, 1)}
+                if name == "order"
+                else {"multipliers_random": (16, 256), "multipliers_sequential": (16,)}
+            ),
+        )
+        experiments.extend(bench.experiments)
+    plan = BenchmarkPlan.build(
+        experiments, capacity=device.capacity, align=device.geometry.block_size
+    )
+
+    enforcements = []
+
+    def enforce(dev):
+        enforcements.append(1)
+        enforce_random_state(dev, seed=len(enforcements))
+
+    results = plan.execute(
+        device, enforce, pause_usec=pause.recommended_pause_usec
+    )
+
+    # 5. coherence of the results
+    assert len(results) == len(experiments)
+    granularity_rw = results["granularity/RW"]
+    small, large = granularity_rw.rows[0], granularity_rw.rows[-1]
+    assert small.value < large.value
+    assert all(row.mean_usec > 0 for row in granularity_rw.rows)
+    locality_rw = results["locality/RW"]
+    focused = locality_rw.row_for(16).mean_usec
+    wide = locality_rw.row_for(256).mean_usec
+    assert focused < wide
+    device.check_invariants()

@@ -1,0 +1,16 @@
+"""Run the doc examples embedded in docstrings (units, etc.)."""
+
+import doctest
+
+import pytest
+
+import repro.units
+
+MODULES = [repro.units]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.attempted > 0, f"{module.__name__} lost its doc examples"
+    assert results.failed == 0

@@ -1,0 +1,57 @@
+"""Exception hierarchy: everything catches as ReproError, subsystem
+errors discriminate."""
+
+import pytest
+
+from repro import errors
+
+
+def test_all_errors_derive_from_repro_error():
+    for name in dir(errors):
+        obj = getattr(errors, name)
+        if isinstance(obj, type) and issubclass(obj, Exception):
+            assert issubclass(obj, errors.ReproError), name
+
+
+def test_chip_error_family():
+    for cls in (
+        errors.ProgramError,
+        errors.EraseError,
+        errors.EnduranceError,
+        errors.BadBlockError,
+    ):
+        assert issubclass(cls, errors.ChipError)
+
+
+def test_out_of_space_is_an_ftl_error():
+    assert issubclass(errors.OutOfSpaceError, errors.FTLError)
+
+
+def test_single_catch_covers_subsystems():
+    caught = []
+    for raise_it in (
+        lambda: (_ for _ in ()).throw(errors.PatternError("p")),
+        lambda: (_ for _ in ()).throw(errors.AnalysisError("a")),
+        lambda: (_ for _ in ()).throw(errors.ProgramError("c")),
+    ):
+        try:
+            next(raise_it())
+        except errors.ReproError as error:
+            caught.append(type(error).__name__)
+    assert caught == ["PatternError", "AnalysisError", "ProgramError"]
+
+
+def test_library_raises_its_own_errors_not_builtins():
+    """Spot-check: representative misuse raises ReproError subclasses,
+    so callers never need bare ``except Exception``."""
+    from repro.core.patterns import LocationKind, PatternSpec
+    from repro.flashsim import build_device
+    from repro.iotypes import Mode
+
+    with pytest.raises(errors.PatternError):
+        PatternSpec(mode=Mode.READ, location=LocationKind.SEQUENTIAL, io_size=0)
+    with pytest.raises(errors.ProfileError):
+        build_device("nonexistent")
+    device = build_device("mtron", logical_bytes=8 * 1024 * 1024)
+    with pytest.raises(errors.AddressError):
+        device.read(device.capacity, 512)

@@ -1,0 +1,86 @@
+"""Shared IO types and the paper-data reference module."""
+
+import pytest
+
+from repro.flashsim.timing import CostAccumulator
+from repro.iotypes import CompletedIO, IORequest, Mode
+from repro.paperdata import (
+    FIG5_MTRON,
+    PHASES,
+    TABLE3,
+    table3_devices,
+)
+from repro.units import KIB
+
+
+def test_mode_values():
+    assert Mode("read") is Mode.READ
+    assert Mode("write") is Mode.WRITE
+    assert str(Mode.READ) == "read"
+
+
+def test_request_validation():
+    IORequest(0, 0, 4 * KIB, Mode.READ)
+    with pytest.raises(ValueError):
+        IORequest(0, 0, 0, Mode.READ)
+    with pytest.raises(ValueError):
+        IORequest(0, -1, 4 * KIB, Mode.READ)
+
+
+def test_completed_io_timings():
+    request = IORequest(0, 0, 4 * KIB, Mode.WRITE, scheduled_at=10.0)
+    completed = CompletedIO(
+        request=request,
+        submitted_at=10.0,
+        started_at=25.0,
+        completed_at=125.0,
+        cost=CostAccumulator(page_programs=2),
+    )
+    assert completed.response_usec == pytest.approx(115.0)
+    assert completed.service_usec == pytest.approx(100.0)
+    assert completed.response_usec > completed.service_usec  # queued
+
+
+def test_completed_io_default_cost_is_fresh():
+    request = IORequest(0, 0, 4 * KIB, Mode.READ)
+    a = CompletedIO(request, 0.0, 0.0, 1.0)
+    b = CompletedIO(request, 0.0, 0.0, 1.0)
+    a.cost.page_reads += 1
+    assert b.cost.page_reads == 0  # no shared mutable default
+
+
+# ----------------------------------------------------------------------
+# paper reference data sanity
+# ----------------------------------------------------------------------
+
+def test_table3_has_the_seven_presented_devices():
+    assert len(TABLE3) == 7
+    assert table3_devices() == list(TABLE3)
+
+
+def test_table3_rows_internally_consistent():
+    for name, row in TABLE3.items():
+        # costs are positive and ordered: random writes dominate
+        assert 0 < row.sr <= row.rw
+        assert 0 < row.sw <= row.rw
+        # locality fields are paired
+        assert (row.locality_mb is None) == (row.locality_factor is None)
+        assert row.partitions >= 1
+        assert row.reverse > 0 and row.in_place > 0 and row.large_incr > 0
+
+
+def test_pause_effect_only_on_the_two_high_end_ssds():
+    with_pause = {name for name, row in TABLE3.items() if row.pause_rw is not None}
+    assert with_pause == {"memoright", "mtron"}
+
+
+def test_phase_anchors_match_table3():
+    assert set(PHASES) == set(TABLE3)
+    startups = {name for name, (__, has) in PHASES.items() if has}
+    assert startups == {"memoright", "mtron"}
+    assert PHASES["mtron"][0] == 128
+
+
+def test_fig5_anchor_values():
+    assert FIG5_MTRON["affected_reads"] == 3_000
+    assert FIG5_MTRON["recommended_pause_sec"] > FIG5_MTRON["lingering_sec"]

@@ -1,0 +1,90 @@
+"""Units: parsing, formatting, constants."""
+
+import pytest
+
+from repro.units import (
+    GIB,
+    KIB,
+    MIB,
+    MSEC,
+    SEC,
+    SECTOR,
+    fmt_size,
+    fmt_usec,
+    parse_size,
+    usec_to_msec,
+)
+
+
+def test_constants_consistent():
+    assert KIB == 1024
+    assert MIB == 1024 * KIB
+    assert GIB == 1024 * MIB
+    assert SECTOR == 512
+    assert SEC == 1000 * MSEC
+
+
+@pytest.mark.parametrize(
+    "text,expected",
+    [
+        ("32K", 32 * KIB),
+        ("32k", 32 * KIB),
+        ("32KiB", 32 * KIB),
+        ("2M", 2 * MIB),
+        ("2MiB", 2 * MIB),
+        ("1G", GIB),
+        ("512", 512),
+        ("512B", 512),
+        ("0.5K", 512),
+        (" 4 k ", 4 * KIB),
+        (4096, 4096),
+    ],
+)
+def test_parse_size(text, expected):
+    assert parse_size(text) == expected
+
+
+@pytest.mark.parametrize("text", ["", "abc", "12X", "1.1.1K", "-4K"])
+def test_parse_size_rejects_garbage(text):
+    with pytest.raises(ValueError):
+        parse_size(text)
+
+
+def test_parse_size_rejects_fractional_bytes():
+    with pytest.raises(ValueError):
+        parse_size("0.3K")
+
+
+@pytest.mark.parametrize(
+    "nbytes,expected",
+    [
+        (32 * KIB, "32K"),
+        (512, "512B"),
+        (3 * MIB, "3M"),
+        (2 * GIB, "2G"),
+        (1536, "1536B"),  # not an exact KiB multiple
+    ],
+)
+def test_fmt_size(nbytes, expected):
+    assert fmt_size(nbytes) == expected
+
+
+def test_fmt_size_parse_round_trip():
+    for nbytes in (512, 32 * KIB, 3 * MIB, GIB):
+        assert parse_size(fmt_size(nbytes)) == nbytes
+
+
+@pytest.mark.parametrize(
+    "usec,expected",
+    [
+        (250.0, "250us"),
+        (5000.0, "5.00ms"),
+        (2_500_000.0, "2.50s"),
+    ],
+)
+def test_fmt_usec(usec, expected):
+    assert fmt_usec(usec) == expected
+
+
+def test_usec_to_msec():
+    assert usec_to_msec(5000.0) == 5.0
