@@ -51,7 +51,8 @@ def _add_device_argument(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--device",
         default="memoright",
-        help="device profile name (see `uflip devices`)",
+        help="device profile name (see `uflip devices`); the campaign "
+             "subcommand also accepts a comma-separated list of profiles",
     )
     parser.add_argument(
         "--capacity",
@@ -305,40 +306,54 @@ def _cmd_lifetime(args: argparse.Namespace) -> int:
 def _cmd_campaign(args: argparse.Namespace) -> int:
     from pathlib import Path
 
-    from repro.core import BenchmarkPlan, Campaign
+    from repro.core import (
+        Campaign,
+        CampaignExecutor,
+        plan_cells,
+        results_by_experiment,
+    )
 
-    device = _build_ready_device(args)
-    ctx = BenchContext(
-        capacity=device.capacity,
-        io_size=parse_size(args.io_size),
-        io_count=args.count,
-        io_ignore=args.ignore,
+    profiles = [name.strip() for name in args.device.split(",") if name.strip()]
+    capacity = parse_size(args.capacity) if args.capacity else None
+    executor = CampaignExecutor(
+        jobs=args.jobs,
+        cache=args.cache or None,
+        enforce=not args.skip_state,
+        enforce_seed=97,
     )
-    experiments = []
-    for name in args.benchmarks:
-        experiments.extend(build_microbenchmark(name, ctx).experiments)
-    plan = BenchmarkPlan.build(
-        experiments, capacity=device.capacity, align=device.geometry.block_size
-    )
-    print(f"plan: {plan.estimate(pause_usec=args.pause * SEC).summary()}",
-          file=sys.stderr)
-    results = plan.execute(
-        device,
-        lambda dev: enforce_random_state(dev, seed=97),
-        pause_usec=args.pause * SEC,
-    )
-    campaign = Campaign(
-        device=args.device,
-        label=args.label,
-        results=results,
-        metadata={
-            "io_size": args.io_size,
-            "io_count": str(args.count),
-            "benchmarks": ",".join(args.benchmarks),
-        },
-    )
-    path = campaign.save(Path(args.out))
-    print(f"campaign archived to {path}")
+    for profile in profiles:
+        cells = plan_cells(
+            profile,
+            capacity,
+            args.benchmarks,
+            io_size=parse_size(args.io_size),
+            io_count=args.count,
+            io_ignore=args.ignore,
+            pause_usec=args.pause * SEC,
+        )
+        outcomes = executor.execute(
+            cells, status=lambda message: print(message, file=sys.stderr)
+        )
+        cached = sum(1 for outcome in outcomes if outcome.cached)
+        label = args.label if len(profiles) == 1 else f"{args.label}-{profile}"
+        campaign = Campaign(
+            device=profile,
+            label=label,
+            results=results_by_experiment(outcomes),
+            metadata={
+                "io_size": args.io_size,
+                "io_count": str(args.count),
+                "benchmarks": ",".join(args.benchmarks),
+                "jobs": str(args.jobs),
+                "cells_run": str(len(outcomes) - cached),
+                "cells_cached": str(cached),
+            },
+        )
+        path = campaign.save(Path(args.out))
+        print(
+            f"campaign archived to {path} "
+            f"({len(outcomes) - cached} cell(s) run, {cached} from cache)"
+        )
     return 0
 
 
@@ -494,6 +509,16 @@ def build_parser() -> argparse.ArgumentParser:
     campaign_parser.add_argument("--count", type=int, default=128)
     campaign_parser.add_argument("--ignore", type=int, default=0)
     campaign_parser.add_argument("--pause", type=float, default=1.0)
+    campaign_parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for campaign cells (1 = run inline; "
+             "results are identical either way)",
+    )
+    campaign_parser.add_argument(
+        "--cache", default="",
+        help="run-cache directory; already-measured cells are served "
+             "from it instead of re-running",
+    )
     campaign_parser.set_defaults(func=_cmd_campaign)
 
     report_parser = subparsers.add_parser(

@@ -15,7 +15,10 @@ from repro.core.archive import (
     list_campaigns,
     load_campaigns,
     render_comparison,
+    result_from_payload,
+    result_to_payload,
 )
+from repro.core.engine import Engine, reseed
 from repro.core.autotune import AutotuneResult, autotune_run, confidence_halfwidth
 from repro.core.experiment import (
     Experiment,
@@ -24,9 +27,19 @@ from repro.core.experiment import (
     execute_spec,
     run_experiment,
 )
+from repro.core.executor import (
+    CampaignCell,
+    CampaignExecutor,
+    CellOutcome,
+    RunCache,
+    plan_cells,
+    results_by_experiment,
+)
 from repro.core.generator import MixGenerator, PatternGenerator
 from repro.core.interference import PauseDetermination, determine_pause
 from repro.core.methodology import (
+    EnforcedState,
+    StatePool,
     StateReport,
     enforce_random_state,
     enforce_sequential_state,
@@ -83,6 +96,11 @@ __all__ = [
     "BenchContext",
     "BenchmarkPlan",
     "Campaign",
+    "CampaignCell",
+    "CampaignExecutor",
+    "CellOutcome",
+    "EnforcedState",
+    "Engine",
     "Experiment",
     "ExperimentResult",
     "ExperimentRow",
@@ -105,7 +123,9 @@ __all__ = [
     "ReplayMode",
     "ReplayResult",
     "Run",
+    "RunCache",
     "RunStats",
+    "StatePool",
     "StateReport",
     "StateReset",
     "TargetAllocator",
@@ -122,10 +142,11 @@ __all__ = [
     "determine_pause",
     "enforce_random_state",
     "enforce_sequential_state",
+    "evaluate_workload",
     "execute",
     "execute_mix",
     "execute_parallel",
-    "evaluate_workload",
+    "execute_parallel_mix",
     "execute_spec",
     "external_sort_merge",
     "list_campaigns",
@@ -133,13 +154,18 @@ __all__ = [
     "load_campaigns",
     "measure_phases",
     "oltp_mix",
+    "plan_cells",
     "recommended_io_count",
     "recommended_io_ignore",
     "remap_rows",
     "render_comparison",
     "replay",
     "replay_csv",
+    "reseed",
     "rest_device",
+    "result_from_payload",
+    "result_to_payload",
+    "results_by_experiment",
     "run_control_for",
     "run_experiment",
     "running_average",

@@ -48,7 +48,7 @@ class Campaign:
             "label": self.label,
             "metadata": dict(self.metadata),
             "experiments": {
-                name: _result_payload(result)
+                name: result_to_payload(result)
                 for name, result in self.results.items()
             },
         }
@@ -68,7 +68,7 @@ class Campaign:
             metadata=dict(payload.get("metadata", {})),
         )
         for name, result_payload in payload["experiments"].items():
-            campaign.results[name] = _result_from_payload(name, result_payload)
+            campaign.results[name] = result_from_payload(name, result_payload)
         return campaign
 
     def save(self, directory: str | Path) -> Path:
@@ -86,7 +86,14 @@ class Campaign:
         return Campaign.from_payload(json.loads(Path(path).read_text()))
 
 
-def _result_payload(result: ExperimentResult) -> dict:
+def result_to_payload(result: ExperimentResult) -> dict:
+    """JSON-serialisable form of one experiment result.
+
+    Public because the run cache and the campaign worker processes use
+    the same representation to transport results: JSON round-trips
+    Python floats exactly, so a cached or worker-produced result is
+    bit-identical to a freshly computed one.
+    """
     return {
         "parameter": result.experiment.parameter,
         "rows": [
@@ -113,7 +120,13 @@ def _result_payload(result: ExperimentResult) -> dict:
     }
 
 
-def _result_from_payload(name: str, payload: dict) -> ExperimentResult:
+def result_from_payload(name: str, payload: dict) -> ExperimentResult:
+    """Rebuild an experiment result from :func:`result_to_payload` output.
+
+    The rebuilt experiment carries results only — its pattern builder
+    raises if invoked (archives and caches store measurements, not
+    runnable closures).
+    """
     values = tuple(row["value"] for row in payload["rows"])
     experiment = Experiment(
         name=name,

@@ -1,0 +1,369 @@
+"""Parallel campaign execution with snapshot restore and memoization.
+
+A campaign decomposes into independent *cells* — one (device profile,
+experiment) pair each.  Cells share nothing but the enforced initial
+state, which the executor builds **once per profile**, snapshots, and
+hands to every cell; each cell restores the snapshot onto its own
+device and runs with its own target-space allocator.  Because the
+simulator is deterministic, the same cell always produces the same
+measurements — which buys two things:
+
+* **parallelism** — cells fan out across worker processes
+  (``jobs > 1``) and the results are bit-identical to running them
+  sequentially (``jobs == 1`` uses the identical per-cell code path,
+  inline);
+* **memoization** — a :class:`RunCache` stores finished cells on disk
+  keyed by (profile, state fingerprint, spec); a repeated campaign
+  re-runs zero already-measured cells.
+
+Cells are described by picklable primitives only: experiments hold
+pattern-builder closures that cannot cross a process boundary, so
+workers rebuild them from the micro-benchmark registry
+(:func:`~repro.core.microbench.build_microbenchmark`).  Results travel
+as the archive's JSON payloads, which round-trip floats exactly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Sequence
+
+from repro.core.archive import result_from_payload, result_to_payload
+from repro.core.experiment import Experiment, ExperimentResult, run_experiment
+from repro.core.methodology import StatePool
+from repro.core.microbench import BenchContext, build_microbenchmark
+from repro.core.plan import TargetAllocator
+from repro.errors import ExperimentError, PlanError
+from repro.flashsim.profiles import build_device, get_profile
+from repro.flashsim.snapshot import DeviceSnapshot
+from repro.units import SEC
+
+CACHE_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# cells
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class CampaignCell:
+    """One independent unit of campaign work, in picklable primitives."""
+
+    profile: str
+    capacity: int | None
+    benchmark: str
+    experiment: str
+    io_size: int
+    io_count: int
+    io_ignore: int = 0
+    seed: int = 42
+    repetitions: int = 1
+    pause_usec: float = 1.0 * SEC
+
+
+@dataclass
+class CellOutcome:
+    """One executed (or cache-served) cell."""
+
+    cell: CampaignCell
+    payload: dict
+    cached: bool = False
+
+    def result(self) -> ExperimentResult:
+        """The cell's measurements as an :class:`ExperimentResult`."""
+        return result_from_payload(self.cell.experiment, self.payload)
+
+
+def plan_cells(
+    profile: str,
+    capacity: int | None,
+    benchmarks: Sequence[str],
+    *,
+    io_size: int,
+    io_count: int,
+    io_ignore: int = 0,
+    seed: int = 42,
+    repetitions: int = 1,
+    pause_usec: float = 1.0 * SEC,
+) -> list[CampaignCell]:
+    """Enumerate one profile's campaign as cells, one per experiment."""
+    resolved = capacity if capacity is not None else get_profile(profile).sim_logical_bytes
+    context = BenchContext(
+        capacity=resolved,
+        io_size=io_size,
+        io_count=io_count,
+        io_ignore=io_ignore,
+        seed=seed,
+    )
+    cells = []
+    for name in benchmarks:
+        for experiment in build_microbenchmark(name, context).experiments:
+            cells.append(
+                CampaignCell(
+                    profile=profile,
+                    capacity=capacity,
+                    benchmark=name,
+                    experiment=experiment.name,
+                    io_size=io_size,
+                    io_count=io_count,
+                    io_ignore=io_ignore,
+                    seed=seed,
+                    repetitions=repetitions,
+                    pause_usec=pause_usec,
+                )
+            )
+    return cells
+
+
+def _cell_experiment(cell: CampaignCell, capacity: int) -> Experiment:
+    """Rebuild a cell's experiment from the micro-benchmark registry."""
+    context = BenchContext(
+        capacity=capacity,
+        io_size=cell.io_size,
+        io_count=cell.io_count,
+        io_ignore=cell.io_ignore,
+        seed=cell.seed,
+    )
+    for experiment in build_microbenchmark(cell.benchmark, context).experiments:
+        if experiment.name == cell.experiment:
+            return experiment
+    raise ExperimentError(
+        f"micro-benchmark {cell.benchmark!r} has no experiment {cell.experiment!r}"
+    )
+
+
+def run_cell(cell: CampaignCell, snapshot: DeviceSnapshot) -> dict:
+    """Execute one cell from a restored snapshot; returns the payload.
+
+    The single per-cell code path: the sequential executor calls it
+    inline, worker processes call it after unpickling their arguments.
+    Determinism makes the two executions bit-identical.
+    """
+    device = build_device(cell.profile, logical_bytes=cell.capacity)
+    device.restore(snapshot)
+    experiment = _cell_experiment(cell, device.capacity)
+    allocator = TargetAllocator(device.capacity, device.geometry.block_size)
+
+    def allocate(spec):
+        placed = allocator.place(spec)
+        if placed is None:
+            # runtime guard, mirroring BenchmarkPlan.execute: restore
+            # the enforced state and restart the target space
+            device.restore(snapshot)
+            allocator.reset()
+            placed = allocator.place(spec)
+            if placed is None:
+                raise PlanError("spec does not fit even on a fresh device")
+        return placed
+
+    result = run_experiment(
+        device,
+        experiment,
+        pause_usec=cell.pause_usec,
+        repetitions=cell.repetitions,
+        allocate=allocate,
+    )
+    return result_to_payload(result)
+
+
+# ----------------------------------------------------------------------
+# run cache
+# ----------------------------------------------------------------------
+
+class RunCache:
+    """On-disk memo of executed cells.
+
+    Keys combine the cell description, the *spec digest* (the reprs of
+    the actual pattern specs the experiment will run — so a code change
+    that alters patterns invalidates entries) and the device-state
+    fingerprint.  Entries are JSON files; floats round-trip exactly, so
+    a cache hit returns the same numbers the run produced.
+    """
+
+    def __init__(self, directory: str | Path) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def key(cell: CampaignCell, fingerprint: str, spec_digest: str) -> str:
+        """Cache key of one cell under one device state."""
+        blob = json.dumps(
+            {
+                "version": CACHE_VERSION,
+                "cell": dataclasses.asdict(cell),
+                "fingerprint": fingerprint,
+                "specs": spec_digest,
+            },
+            sort_keys=True,
+        )
+        return hashlib.sha256(blob.encode()).hexdigest()[:40]
+
+    @staticmethod
+    def spec_digest(cell: CampaignCell, capacity: int) -> str:
+        """Hash of every spec the cell will execute."""
+        experiment = _cell_experiment(cell, capacity)
+        hasher = hashlib.sha256()
+        hasher.update(experiment.name.encode())
+        hasher.update(experiment.parameter.encode())
+        for value in experiment.values:
+            hasher.update(repr(value).encode())
+            hasher.update(repr(experiment.spec_for(value)).encode())
+        return hasher.hexdigest()
+
+    def _path(self, key: str) -> Path:
+        return self.directory / f"{key}.json"
+
+    def get(self, key: str) -> dict | None:
+        """The memoized payload for ``key``, or None on a miss."""
+        path = self._path(key)
+        try:
+            entry = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            self.misses += 1
+            return None
+        if entry.get("version") != CACHE_VERSION:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry["payload"]
+
+    def put(self, key: str, cell: CampaignCell, payload: dict) -> Path:
+        """Store one executed cell's payload under ``key``."""
+        entry = {
+            "version": CACHE_VERSION,
+            "cell": dataclasses.asdict(cell),
+            "payload": payload,
+        }
+        path = self._path(key)
+        path.write_text(json.dumps(entry, indent=2))
+        return path
+
+
+# ----------------------------------------------------------------------
+# the executor
+# ----------------------------------------------------------------------
+
+def _pool_context():
+    """Prefer fork on platforms that have it: child processes inherit
+    ``sys.path``, so the pool works under test runners that injected
+    the package path at runtime."""
+    if "fork" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+class CampaignExecutor:
+    """Executes campaign cells, optionally in parallel and memoized.
+
+    ``jobs == 1`` runs cells inline; ``jobs > 1`` fans cache misses out
+    across a process pool.  Either way every cell starts from the same
+    restored snapshot and runs the same code path, so the two modes
+    produce identical results.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache: RunCache | str | Path | None = None,
+        enforce: bool = True,
+        enforce_seed: int = 97,
+        state_pool: StatePool | None = None,
+    ) -> None:
+        if jobs < 1:
+            raise ExperimentError("jobs must be >= 1")
+        self.jobs = jobs
+        self.cache = RunCache(cache) if isinstance(cache, (str, Path)) else cache
+        self.enforce = enforce
+        self.enforce_seed = enforce_seed
+        self._pool = state_pool or StatePool()
+
+    def prepare(self, profile: str, capacity: int | None):
+        """Build one profile's device in the enforced state.
+
+        Returns ``(capacity, snapshot, fingerprint)``; the enforcement
+        itself is memoized in the executor's :class:`StatePool`, so a
+        profile is only ever filled once per executor.
+        """
+        device = build_device(profile, logical_bytes=capacity)
+        if self.enforce:
+            state = self._pool.ensure(device, seed=self.enforce_seed)
+            return device.capacity, state.snapshot, state.fingerprint
+        return device.capacity, device.snapshot(), device.fingerprint()
+
+    def execute(
+        self,
+        cells: Sequence[CampaignCell],
+        status: Callable[[str], None] | None = None,
+    ) -> list[CellOutcome]:
+        """Run every cell; outcomes come back in the order given."""
+        report = status or (lambda message: None)
+        outcomes: list[CellOutcome | None] = [None] * len(cells)
+        prepared: dict[tuple[str, int | None], tuple[int, DeviceSnapshot, str]] = {}
+        pending: list[tuple[int, CampaignCell, DeviceSnapshot, str | None]] = []
+
+        for index, cell in enumerate(cells):
+            group = (cell.profile, cell.capacity)
+            if group not in prepared:
+                report(f"preparing enforced state for {cell.profile} ...")
+                prepared[group] = self.prepare(cell.profile, cell.capacity)
+            capacity, snapshot, fingerprint = prepared[group]
+            key = None
+            if self.cache is not None:
+                digest = self.cache.spec_digest(cell, capacity)
+                key = self.cache.key(cell, fingerprint, digest)
+                payload = self.cache.get(key)
+                if payload is not None:
+                    outcomes[index] = CellOutcome(cell=cell, payload=payload, cached=True)
+                    continue
+            pending.append((index, cell, snapshot, key))
+
+        if pending:
+            report(f"running {len(pending)} cell(s) with jobs={self.jobs}")
+        if self.jobs == 1 or len(pending) <= 1:
+            executed = [
+                (index, cell, key, run_cell(cell, snapshot))
+                for index, cell, snapshot, key in pending
+            ]
+        else:
+            workers = min(self.jobs, len(pending))
+            with ProcessPoolExecutor(
+                max_workers=workers, mp_context=_pool_context()
+            ) as pool:
+                futures = [
+                    pool.submit(run_cell, cell, snapshot)
+                    for _, cell, snapshot, _ in pending
+                ]
+                executed = [
+                    (index, cell, key, future.result())
+                    for (index, cell, _, key), future in zip(pending, futures)
+                ]
+
+        for index, cell, key, payload in executed:
+            outcomes[index] = CellOutcome(cell=cell, payload=payload, cached=False)
+            if self.cache is not None and key is not None:
+                self.cache.put(key, cell, payload)
+        return [outcome for outcome in outcomes if outcome is not None]
+
+
+def results_by_experiment(outcomes: Sequence[CellOutcome]) -> dict[str, ExperimentResult]:
+    """Assemble executor outcomes into a campaign's results mapping."""
+    return {outcome.cell.experiment: outcome.result() for outcome in outcomes}
+
+
+__all__ = [
+    "CampaignCell",
+    "CampaignExecutor",
+    "CellOutcome",
+    "RunCache",
+    "plan_cells",
+    "results_by_experiment",
+    "run_cell",
+]

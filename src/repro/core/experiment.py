@@ -15,19 +15,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Union
 
-from repro.core.patterns import MixSpec, ParallelSpec, PatternSpec
-from repro.core.runner import (
-    execute,
-    execute_mix,
-    execute_parallel,
-    rest_device,
-)
+from repro.core.engine import Engine, reseed, rest_device
+from repro.core.patterns import MixSpec, ParallelMixSpec, ParallelSpec, PatternSpec
 from repro.core.stats import RunStats, relative_difference
 from repro.errors import ExperimentError
 from repro.flashsim.device import FlashDevice
 from repro.units import SEC
 
-SpecLike = Union[PatternSpec, MixSpec, ParallelSpec]
+SpecLike = Union[PatternSpec, MixSpec, ParallelSpec, ParallelMixSpec]
 SpecBuilder = Callable[[Any], SpecLike]
 
 
@@ -58,9 +53,17 @@ class ExperimentRow:
     stats: list[RunStats] = field(default_factory=list)
     extra: dict[str, float] = field(default_factory=dict)
 
+    def _require_stats(self) -> None:
+        if not self.stats:
+            raise ExperimentError(
+                f"experiment row for value {self.value!r} ({self.label or 'no label'}) "
+                "has no recorded runs"
+            )
+
     @property
     def mean_usec(self) -> float:
         """Mean response time averaged over the repetitions (us)."""
+        self._require_stats()
         return sum(s.mean_usec for s in self.stats) / len(self.stats)
 
     @property
@@ -71,6 +74,7 @@ class ExperimentRow:
     @property
     def max_usec(self) -> float:
         """Worst response time seen across the repetitions (us)."""
+        self._require_stats()
         return max(s.max_usec for s in self.stats)
 
     def repeatable_within(self, tolerance: float = 0.05) -> bool:
@@ -106,34 +110,24 @@ class ExperimentResult:
 
 
 def _reseed(spec: SpecLike, bump: int) -> SpecLike:
-    """A copy of the spec with shifted random seeds for a repetition."""
-    if bump == 0:
-        return spec
-    if isinstance(spec, PatternSpec):
-        return spec.with_(seed=spec.seed + bump)
-    if isinstance(spec, MixSpec):
-        return MixSpec(
-            primary=spec.primary.with_(seed=spec.primary.seed + bump),
-            secondary=spec.secondary.with_(seed=spec.secondary.seed + bump),
-            ratio=spec.ratio,
-            io_count=spec.io_count,
-            io_ignore=spec.io_ignore,
-        )
-    return ParallelSpec(
-        base=spec.base.with_(seed=spec.base.seed + bump),
-        parallel_degree=spec.parallel_degree,
-    )
+    """A copy of the spec with shifted random seeds for a repetition.
+
+    Delegates to the engine's reseeder registry, which covers every
+    registered spec kind (including :class:`ParallelMixSpec`, which the
+    former isinstance ladder mishandled).
+    """
+    return reseed(spec, bump)
 
 
 def execute_spec(device: FlashDevice, spec: SpecLike):
-    """Dispatch a spec to the right runner; returns the run object."""
-    if isinstance(spec, PatternSpec):
-        return execute(device, spec)
-    if isinstance(spec, MixSpec):
-        return execute_mix(device, spec)
-    if isinstance(spec, ParallelSpec):
-        return execute_parallel(device, spec)
-    raise ExperimentError(f"cannot execute spec of type {type(spec).__name__}")
+    """Dispatch a spec to the right executor; returns the run object.
+
+    A thin front over :meth:`Engine.run`: dispatch is by the engine's
+    executor registry, so every registered spec kind — including
+    :class:`ParallelMixSpec` — executes without this module knowing
+    about it.
+    """
+    return Engine(device).run(spec)
 
 
 def run_experiment(

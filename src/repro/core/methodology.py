@@ -17,11 +17,15 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.core.patterns import PatternSpec
 from repro.flashsim.device import FlashDevice
 from repro.iotypes import IORequest, Mode
 from repro.units import SECTOR
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.flashsim.snapshot import DeviceSnapshot
 
 
 @dataclass(frozen=True)
@@ -107,6 +111,78 @@ def enforce_sequential_state(
         elapsed_usec=now - start,
         mean_io_usec=(now - start) / count if count else 0.0,
     )
+
+
+# ----------------------------------------------------------------------
+# memoized enforcement (snapshot/restore)
+# ----------------------------------------------------------------------
+
+@dataclass
+class EnforcedState:
+    """A memoized enforced device state.
+
+    Carries the enforcement report, the snapshot every later consumer
+    restores from, and the device-state fingerprint that keys run-cache
+    entries.
+    """
+
+    report: StateReport
+    snapshot: "DeviceSnapshot"
+    fingerprint: str
+
+
+class StatePool:
+    """Enforce each distinct device state once; restore it thereafter.
+
+    Enforcement is the methodology's dominant cost (Section 4.1: hours
+    to weeks per real device).  The pool keys states by (device name,
+    capacity, method, coverage, seed); the first :meth:`ensure` for a
+    key pays for the full fill, every later call restores the snapshot —
+    the same reproducible state at constant cost.
+    """
+
+    def __init__(self) -> None:
+        self._states: dict[tuple, EnforcedState] = {}
+
+    def __len__(self) -> int:
+        return len(self._states)
+
+    def ensure(
+        self,
+        device: FlashDevice,
+        method: str = "random",
+        coverage: float = 1.0,
+        seed: int = 7,
+    ) -> EnforcedState:
+        """Put ``device`` into the enforced state, cheaply if possible.
+
+        ``method`` is ``"random"`` (Section 4.1's default), ``"sequential"``
+        (the faster, less stable alternative) or ``"none"`` (snapshot the
+        device as-is — out-of-the-box measurements).
+        """
+        key = (device.name, device.geometry.logical_bytes, method, coverage, seed)
+        state = self._states.get(key)
+        if state is not None:
+            device.restore(state.snapshot)
+            return state
+        if method == "random":
+            report = enforce_random_state(device, coverage=coverage, seed=seed)
+        elif method == "sequential":
+            report = enforce_sequential_state(device)
+        elif method == "none":
+            report = StateReport(
+                method="none", io_count=0, bytes_written=0,
+                elapsed_usec=0.0, mean_io_usec=0.0,
+            )
+        else:
+            raise ValueError(f"unknown state-enforcement method {method!r}")
+        state = EnforcedState(
+            report=report,
+            snapshot=device.snapshot(),
+            fingerprint=device.fingerprint(),
+        )
+        self._states[key] = state
+        return state
 
 
 # ----------------------------------------------------------------------

@@ -20,7 +20,13 @@ from repro.core.experiment import (
     SpecLike,
     run_experiment,
 )
-from repro.core.patterns import LocationKind, MixSpec, ParallelSpec, PatternSpec
+from repro.core.patterns import (
+    LocationKind,
+    MixSpec,
+    ParallelMixSpec,
+    ParallelSpec,
+    PatternSpec,
+)
 from repro.errors import PlanError
 from repro.flashsim.device import FlashDevice
 from repro.units import SEC
@@ -37,6 +43,8 @@ def needs_fresh_space(spec: SpecLike) -> bool:
         return needs_fresh_space(spec.primary) or needs_fresh_space(spec.secondary)
     if isinstance(spec, ParallelSpec):
         return needs_fresh_space(spec.base)
+    if isinstance(spec, ParallelMixSpec):
+        return any(needs_fresh_space(component) for component in spec.components)
     return False
 
 
@@ -48,6 +56,8 @@ def spec_footprint(spec: SpecLike) -> int:
         return spec_footprint(spec.primary) + spec_footprint(spec.secondary)
     if isinstance(spec, ParallelSpec):
         return spec_footprint(spec.base)
+    if isinstance(spec, ParallelMixSpec):
+        return sum(spec_footprint(component) for component in spec.components)
     raise PlanError(f"cannot size spec of type {type(spec).__name__}")
 
 
@@ -141,6 +151,8 @@ def _spec_io_count(spec: SpecLike) -> int:
         return spec.io_count
     if isinstance(spec, ParallelSpec):
         return sum(process.io_count for process in spec.process_specs())
+    if isinstance(spec, ParallelMixSpec):
+        return sum(component.io_count for component in spec.components)
     raise PlanError(f"cannot size spec of type {type(spec).__name__}")
 
 
@@ -278,18 +290,23 @@ class BenchmarkPlan:
         pause_usec: float = 1.0 * SEC,
         repetitions: int = 1,
     ) -> dict[str, ExperimentResult]:
-        """Run the plan: enforce the state once up front, then follow the
-        steps, re-enforcing at each reset (and whenever the allocator
-        runs dry mid-experiment, as a runtime guard)."""
+        """Run the plan: enforce the state once up front and snapshot
+        it; each scheduled reset (and the runtime guard that fires when
+        the allocator runs dry mid-experiment) *restores* the snapshot
+        instead of re-paying for a whole-device fill."""
         enforce_state(device)
+        baseline = device.snapshot()
         allocator = TargetAllocator(self.capacity, self.align)
         results: dict[str, ExperimentResult] = {}
+
+        def reset_state() -> None:
+            device.restore(baseline)
+            allocator.reset()
 
         def allocate(spec: SpecLike) -> SpecLike:
             placed = allocator.place(spec)
             if placed is None:
-                enforce_state(device)
-                allocator.reset()
+                reset_state()
                 placed = allocator.place(spec)
                 if placed is None:
                     raise PlanError("spec does not fit even on a fresh device")
@@ -297,8 +314,7 @@ class BenchmarkPlan:
 
         for step in self.steps:
             if isinstance(step, StateReset):
-                enforce_state(device)
-                allocator.reset()
+                reset_state()
                 continue
             results[step.name] = run_experiment(
                 device,

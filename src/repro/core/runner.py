@@ -1,70 +1,25 @@
-"""Run execution: drive a pattern against a device and collect a trace.
+"""Run execution front-ends (compatibility layer over the engine).
 
 A *run* is one execution of a reference pattern against a device
-(Section 3.2, design principle 1).  The runner connects a pattern
-generator to a host model, captures per-IO completions in an
-:class:`~repro.flashsim.trace.IOTrace` and summarises them (excluding
-the start-up IOs) into :class:`~repro.core.stats.RunStats`.
+(Section 3.2, design principle 1).  The run result classes and the
+actual execution logic live in :mod:`repro.core.engine`; this module
+keeps the original per-spec-kind entry points so existing callers,
+tests and benchmarks continue to work, while every path funnels through
+the same spec-polymorphic :class:`~repro.core.engine.Engine`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
-from repro.core.generator import MixGenerator, PatternGenerator
+from repro.core.engine import (
+    Engine,
+    MixRun,
+    ParallelMixRun,
+    ParallelRun,
+    Run,
+    rest_device,
+)
 from repro.core.patterns import MixSpec, ParallelMixSpec, ParallelSpec, PatternSpec
-from repro.core.stats import RunStats, summarize
 from repro.flashsim.device import FlashDevice
-from repro.flashsim.host import ParallelHost, SyncHost
-from repro.flashsim.trace import IOTrace
-
-
-@dataclass
-class Run:
-    """One executed pattern: the spec, the per-IO trace and its summary."""
-
-    spec: PatternSpec
-    trace: IOTrace
-    stats: RunStats
-
-    @property
-    def label(self) -> str:
-        """Human-readable pattern label (e.g. ``SW``, ``2 SR / 1 RW``)."""
-        return self.spec.label
-
-    def restat(self, io_ignore: int) -> RunStats:
-        """Re-summarise with a different warm-up cut (phase analysis)."""
-        return summarize(self.trace.response_times(), io_ignore)
-
-
-@dataclass
-class MixRun:
-    """One executed mix: overall plus per-component summaries."""
-
-    spec: MixSpec
-    trace: IOTrace
-    stats: RunStats
-    primary_stats: RunStats
-    secondary_stats: RunStats
-
-    @property
-    def label(self) -> str:
-        """Human-readable pattern label (e.g. ``SW``, ``2 SR / 1 RW``)."""
-        return self.spec.label
-
-
-@dataclass
-class ParallelRun:
-    """One executed parallel pattern: per-process runs plus the merged view."""
-
-    spec: ParallelSpec
-    runs: list[Run] = field(default_factory=list)
-    stats: RunStats | None = None
-
-    @property
-    def label(self) -> str:
-        """Human-readable pattern label (e.g. ``SW``, ``2 SR / 1 RW``)."""
-        return self.spec.label
 
 
 def execute(
@@ -80,13 +35,7 @@ def execute(
     :func:`rest_device` or ``device.idle`` to model the methodology's
     inter-run pause).
     """
-    at = device.busy_until if start_at is None else start_at
-    host = SyncHost(device, os_overhead_usec=os_overhead_usec)
-    completions = host.run(PatternGenerator(spec, start_at=at), start_at=at)
-    trace = IOTrace()
-    trace.extend(completions)
-    stats = summarize(trace.response_times(), spec.io_ignore)
-    return Run(spec=spec, trace=trace, stats=stats)
+    return Engine(device, os_overhead_usec=os_overhead_usec).run(spec, start_at)
 
 
 def execute_mix(
@@ -95,33 +44,8 @@ def execute_mix(
     start_at: float | None = None,
     os_overhead_usec: float = 0.0,
 ) -> MixRun:
-    """Execute a mixed pattern, splitting statistics per component.
-
-    The warm-up cut (``io_ignore``) is applied on the mix-level index,
-    as the FlashIO tool scales it for mixed workloads (Section 5.1).
-    """
-    at = device.busy_until if start_at is None else start_at
-    host = SyncHost(device, os_overhead_usec=os_overhead_usec)
-    generator = MixGenerator(spec, start_at=at)
-    completions = host.run(generator, start_at=at)
-    trace = IOTrace()
-    trace.extend(completions)
-    responses = trace.response_times()
-    stats = summarize(responses, spec.io_ignore)
-    per_component: list[list[float]] = [[], []]
-    for position, which in enumerate(generator.component_log):
-        if position < spec.io_ignore:
-            continue
-        per_component[which].append(responses[position])
-    primary_stats = summarize(per_component[0]) if per_component[0] else stats
-    secondary_stats = summarize(per_component[1]) if per_component[1] else stats
-    return MixRun(
-        spec=spec,
-        trace=trace,
-        stats=stats,
-        primary_stats=primary_stats,
-        secondary_stats=secondary_stats,
-    )
+    """Execute a mixed pattern, splitting statistics per component."""
+    return Engine(device, os_overhead_usec=os_overhead_usec).run(spec, start_at)
 
 
 def execute_parallel(
@@ -130,85 +54,29 @@ def execute_parallel(
     start_at: float | None = None,
     os_overhead_usec: float = 0.0,
 ) -> ParallelRun:
-    """Execute ``ParallelDegree`` concurrent copies of a baseline.
-
-    Response times include queueing behind the other processes — the
-    measurement a synchronous host thread actually observes.
-    """
-    at = device.busy_until if start_at is None else start_at
-    host = ParallelHost(device, os_overhead_usec=os_overhead_usec)
-    process_specs = spec.process_specs()
-    feeds = [PatternGenerator(s, start_at=at) for s in process_specs]
-    per_process = host.run(feeds, start_at=at)
-    result = ParallelRun(spec=spec)
-    all_responses: list[float] = []
-    for process_spec, completions in zip(process_specs, per_process):
-        trace = IOTrace()
-        trace.extend(completions)
-        responses = trace.response_times()
-        stats = summarize(responses, process_spec.io_ignore)
-        result.runs.append(Run(spec=process_spec, trace=trace, stats=stats))
-        all_responses.extend(responses[process_spec.io_ignore :])
-    result.stats = summarize(all_responses)
-    return result
-
-
-@dataclass
-class ParallelMixRun:
-    """One executed heterogeneous parallel pattern."""
-
-    spec: "ParallelMixSpec"
-    runs: list[Run] = field(default_factory=list)
-    stats: RunStats | None = None
-
-    @property
-    def label(self) -> str:
-        """Human-readable pattern label (e.g. ``SW``, ``2 SR / 1 RW``)."""
-        return self.spec.label
+    """Execute ``ParallelDegree`` concurrent copies of a baseline."""
+    return Engine(device, os_overhead_usec=os_overhead_usec).run(spec, start_at)
 
 
 def execute_parallel_mix(
     device: FlashDevice,
-    spec: "ParallelMixSpec",
+    spec: ParallelMixSpec,
     start_at: float | None = None,
     os_overhead_usec: float = 0.0,
 ) -> ParallelMixRun:
-    """Execute different basic patterns concurrently (one process each,
-    Section 3.1's second form of parallel pattern).
-
-    The merged stats cover every process past its own warm-up.
-    """
-    at = device.busy_until if start_at is None else start_at
-    host = ParallelHost(device, os_overhead_usec=os_overhead_usec)
-    feeds = [PatternGenerator(s, start_at=at) for s in spec.components]
-    per_process = host.run(feeds, start_at=at)
-    result = ParallelMixRun(spec=spec)
-    all_responses: list[float] = []
-    for component, completions in zip(spec.components, per_process):
-        trace = IOTrace()
-        trace.extend(completions)
-        responses = trace.response_times()
-        stats = summarize(responses, component.io_ignore)
-        result.runs.append(Run(spec=component, trace=trace, stats=stats))
-        all_responses.extend(responses[component.io_ignore :])
-    result.stats = summarize(all_responses)
-    return result
+    """Execute different basic patterns concurrently (one process each)."""
+    return Engine(device, os_overhead_usec=os_overhead_usec).run(spec, start_at)
 
 
-def rest_device(device: FlashDevice, pause_usec: float) -> None:
-    """Model the methodology's pause between runs (Section 4.3).
-
-    The device is idle for ``pause_usec`` (background reclamation uses
-    the gap), and its volatile RAM cache destages — a multi-second pause
-    is ample for the couple of megabytes such caches hold, and a real
-    write-back cache must destage promptly for durability anyway.
-    Deferred FTL merges beyond what the idle credit covers survive the
-    pause, exactly like on the paper's Mtron (Figure 5).
-    """
-    from repro.flashsim.timing import CostAccumulator
-
-    # destage first: the deferred merges the flush creates are then
-    # serviced by the idle grant below, like on a resting real device
-    scratch = CostAccumulator()
-    device.controller.flush_cache(scratch)
-    device.idle(device.busy_until + pause_usec)
+__all__ = [
+    "Engine",
+    "MixRun",
+    "ParallelMixRun",
+    "ParallelRun",
+    "Run",
+    "execute",
+    "execute_mix",
+    "execute_parallel",
+    "execute_parallel_mix",
+    "rest_device",
+]

@@ -53,6 +53,11 @@ class OutOfSpaceError(FTLError):
     """
 
 
+class SnapshotError(ReproError):
+    """A device snapshot cannot be restored onto the given device
+    (mismatched geometry, FTL family or cache configuration)."""
+
+
 class PatternError(ReproError):
     """An IO pattern specification is invalid (violates Table 1 rules)."""
 

@@ -15,6 +15,7 @@ from repro.flashsim.chip import ERASED, FlashChip
 from repro.flashsim.clock import SimClock
 from repro.flashsim.controller import Controller, ControllerConfig
 from repro.flashsim.device import BackgroundPolicy, DeviceStats, FlashDevice, NoiseSpec
+from repro.flashsim.snapshot import DeviceSnapshot
 from repro.flashsim.geometry import Geometry
 from repro.flashsim.power import (
     MLC_POWER,
@@ -49,6 +50,7 @@ __all__ = [
     "ControllerConfig",
     "CostAccumulator",
     "DeviceProfile",
+    "DeviceSnapshot",
     "DeviceStats",
     "EnergyMeter",
     "ERASED",

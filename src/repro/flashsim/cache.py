@@ -98,6 +98,34 @@ class WriteBackCache:
         return group[offset]
 
     # ------------------------------------------------------------------
+    # snapshot / restore
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Copy of the dirty contents and counters (device snapshots)."""
+        return {
+            "groups": OrderedDict(
+                (lblock, dict(group)) for lblock, group in self._groups.items()
+            ),
+            "dirty_pages": self._dirty_pages,
+            "hits": self.hits,
+            "misses": self.misses,
+            "destaged_groups": self.destaged_groups,
+            "destaged_pages": self.destaged_pages,
+        }
+
+    def restore(self, state: dict) -> None:
+        """Reset the cache to a :meth:`snapshot` (copying the state)."""
+        self._groups = OrderedDict(
+            (lblock, dict(group)) for lblock, group in state["groups"].items()
+        )
+        self._dirty_pages = state["dirty_pages"]
+        self.hits = state["hits"]
+        self.misses = state["misses"]
+        self.destaged_groups = state["destaged_groups"]
+        self.destaged_pages = state["destaged_pages"]
+
+    # ------------------------------------------------------------------
     # destaging
     # ------------------------------------------------------------------
 

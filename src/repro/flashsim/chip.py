@@ -21,7 +21,7 @@ device converts counts to microseconds.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Protocol
 
 import numpy as np
@@ -178,6 +178,40 @@ class FlashChip:
         self._write_point[block] = 0
         self._erase_count[block] += 1
         self.stats.block_erases += 1
+
+    # ------------------------------------------------------------------
+    # snapshot / restore
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Copy of all mutable chip state (tokens, write points, wear
+        counters, bad blocks, operation counters).
+
+        Part of the device snapshot/restore protocol: the returned
+        object is independent of the live chip, so one snapshot
+        supports any number of restores.
+        """
+        return {
+            "tokens": self._tokens.copy(),
+            "write_point": self._write_point.copy(),
+            "erase_count": self._erase_count.copy(),
+            "bad": self._bad.copy(),
+            "stats": replace(self.stats),
+        }
+
+    def restore(self, state: dict) -> None:
+        """Reset the chip to a :meth:`snapshot`, copying the state so
+        the snapshot stays reusable."""
+        self._tokens = state["tokens"].copy()
+        self._write_point = state["write_point"].copy()
+        self._erase_count = state["erase_count"].copy()
+        self._bad = state["bad"].copy()
+        self.stats = replace(state["stats"])
+
+    def update_digest(self, hasher) -> None:
+        """Feed the chip's physical state into a hash (state fingerprints)."""
+        for array in (self._tokens, self._write_point, self._erase_count, self._bad):
+            hasher.update(array.tobytes())
 
     # ------------------------------------------------------------------
     # block health and introspection

@@ -43,6 +43,16 @@ class SimClock:
         self._now += delta
         return self._now
 
+    def snapshot(self) -> float:
+        """Opaque copy of the clock state (snapshot/restore protocol)."""
+        return self._now
+
+    def restore(self, state: float) -> None:
+        """Rewind/forward the clock to a :meth:`snapshot`."""
+        if state < 0:
+            raise ValueError("clock cannot be restored before time zero")
+        self._now = float(state)
+
     def reset(self, start: float = 0.0) -> None:
         """Rewind the clock (used between independent experiments)."""
         if start < 0:

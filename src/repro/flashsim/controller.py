@@ -21,7 +21,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.errors import AddressError, FTLError
+from repro.errors import AddressError, FTLError, SnapshotError
 from repro.flashsim.cache import WriteBackCache
 from repro.flashsim.chip import ERASED
 from repro.flashsim.ftl.base import BaseFTL
@@ -167,6 +167,36 @@ class Controller:
             self.ftl.write_pages(items, cost)
         self.ftl.note_io_boundary(lba + size, cost)
         cost.bytes_transferred += size
+
+    # ------------------------------------------------------------------
+    # snapshot / restore
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Copy of the shadow, token counter, access history and cache."""
+        return {
+            "shadow": self._shadow.copy(),
+            "next_token": self._next_token,
+            "last_end_page": self._last_end_page,
+            "cache": self.cache.snapshot() if self.cache is not None else None,
+        }
+
+    def restore(self, state: dict) -> None:
+        """Reset the controller to a :meth:`snapshot`."""
+        if (self.cache is None) != (state["cache"] is None):
+            raise SnapshotError(
+                "snapshot cache configuration does not match this controller"
+            )
+        self._shadow = state["shadow"].copy()
+        self._next_token = state["next_token"]
+        self._last_end_page = state["last_end_page"]
+        if self.cache is not None:
+            self.cache.restore(state["cache"])
+
+    def update_digest(self, hasher) -> None:
+        """Feed the logical-content shadow into a hash (fingerprints)."""
+        hasher.update(self._shadow.tobytes())
+        hasher.update(str(self._next_token).encode())
 
     # ------------------------------------------------------------------
     # maintenance

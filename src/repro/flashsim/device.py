@@ -19,10 +19,11 @@ cannot subsidise future foreground work.
 
 from __future__ import annotations
 
+import hashlib
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
-from repro.errors import AddressError
+from repro.errors import AddressError, SnapshotError
 from repro.flashsim.chip import FlashChip
 from repro.flashsim.controller import Controller
 from repro.flashsim.ftl.base import BaseFTL
@@ -222,6 +223,85 @@ class FlashDevice:
         total.add(self.ftl.drain_background())
         self._bg_credit = 0.0
         return total
+
+    # ------------------------------------------------------------------
+    # snapshot / restore
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> "DeviceSnapshot":
+        """Capture the complete device state as an independent copy.
+
+        The snapshot composes every stateful layer — chip, FTL,
+        controller (with its RAM cache), device counters, the busy
+        horizon, the background-credit account and the noise RNG — so a
+        later :meth:`restore` resumes *bit-identical* behaviour.  It is
+        picklable, which lets campaign worker processes restore an
+        enforced state without re-paying for the enforcement.
+        """
+        from repro.flashsim.snapshot import DeviceSnapshot
+
+        return DeviceSnapshot(
+            device_name=self.name,
+            logical_bytes=self.geometry.logical_bytes,
+            physical_blocks=self.geometry.physical_blocks,
+            ftl_type=type(self.ftl).__name__,
+            chip=self.chip.snapshot(),
+            ftl=self.ftl.snapshot(),
+            controller=self.controller.snapshot(),
+            stats=replace(self.stats),
+            busy_until=self._busy_until,
+            bg_credit=self._bg_credit,
+            noise_state=self._noise_rng.getstate(),
+        )
+
+    def restore(self, state: "DeviceSnapshot") -> None:
+        """Reset the device to a :meth:`snapshot`.
+
+        The snapshot must come from a device of the same shape: same
+        geometry dimensions and FTL family (and, transitively, the same
+        cache configuration).  The snapshot itself is left untouched, so
+        it can be restored again.
+        """
+        if (
+            state.logical_bytes != self.geometry.logical_bytes
+            or state.physical_blocks != self.geometry.physical_blocks
+        ):
+            raise SnapshotError(
+                f"snapshot of {state.device_name!r} "
+                f"({state.logical_bytes} logical bytes, "
+                f"{state.physical_blocks} blocks) does not fit device "
+                f"{self.name!r} ({self.geometry.logical_bytes} bytes, "
+                f"{self.geometry.physical_blocks} blocks)"
+            )
+        if state.ftl_type != type(self.ftl).__name__:
+            raise SnapshotError(
+                f"snapshot carries {state.ftl_type} state but this device "
+                f"runs {type(self.ftl).__name__}"
+            )
+        self.chip.restore(state.chip)
+        self.ftl.restore(state.ftl)
+        self.controller.restore(state.controller)
+        self.stats = replace(state.stats)
+        self._busy_until = state.busy_until
+        self._bg_credit = state.bg_credit
+        self._noise_rng.setstate(state.noise_state)
+
+    def fingerprint(self) -> str:
+        """Content hash of the current device state.
+
+        Covers the physical flash arrays, the logical-content shadow and
+        the busy horizon — everything that determines future timing for
+        a deterministic device.  Used as the state component of run-cache
+        keys: two devices with equal fingerprints (same profile) produce
+        identical measurements for identical specs.
+        """
+        hasher = hashlib.sha256()
+        hasher.update(self.name.encode())
+        hasher.update(str(self.geometry.logical_bytes).encode())
+        self.chip.update_digest(hasher)
+        self.controller.update_digest(hasher)
+        hasher.update(repr((self._busy_until, self._bg_credit)).encode())
+        return hasher.hexdigest()
 
     # ------------------------------------------------------------------
     # accounting / introspection

@@ -23,10 +23,11 @@ microseconds directly.
 
 from __future__ import annotations
 
+import copy
 from abc import ABC, abstractmethod
 from typing import Sequence
 
-from repro.errors import AddressError
+from repro.errors import AddressError, FTLError
 from repro.flashsim.chip import ERASED, FlashChip
 from repro.flashsim.geometry import Geometry
 from repro.flashsim.timing import CostAccumulator
@@ -39,6 +40,14 @@ class BaseFTL(ABC):
     background-reclamation hooks used to reproduce the paper's Pause,
     Burst and interference effects (Sections 4.3, 5.2).
     """
+
+    #: Names of the mutable attributes that make up a subclass's state.
+    #: ``snapshot``/``restore`` deep-copy them *together* in one pass,
+    #: which preserves identity sharing between attributes (e.g. the
+    #: hybrid FTL's pending-merge deque and its by-logical-block index
+    #: hold the same ``_LogBlock`` objects, and must keep doing so after
+    #: a restore).
+    _STATE_ATTRS: tuple[str, ...] = ()
 
     def __init__(self, geometry: Geometry, chip: FlashChip) -> None:
         self.geometry = geometry
@@ -117,6 +126,35 @@ class BaseFTL(ABC):
         configuration (tests and power-down modelling).  Default: just
         the background queue."""
         return self.drain_background()
+
+    # ------------------------------------------------------------------
+    # snapshot / restore
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Deep copy of the FTL's mutable state (mapping tables, free
+        pool, open logs, pending reclamation, counters).
+
+        The chip is snapshot separately by the device; the FTL keeps
+        referring to the same :class:`FlashChip` object across restores.
+        """
+        if not self._STATE_ATTRS:
+            raise FTLError(
+                f"{type(self).__name__} declares no _STATE_ATTRS; it cannot "
+                "participate in the snapshot/restore protocol"
+            )
+        return copy.deepcopy(
+            {name: getattr(self, name) for name in self._STATE_ATTRS}
+        )
+
+    def restore(self, state: dict) -> None:
+        """Reset the FTL to a :meth:`snapshot`.
+
+        The state is copied again on the way in, so one snapshot can be
+        restored any number of times without aliasing live structures.
+        """
+        for name, value in copy.deepcopy(state).items():
+            setattr(self, name, value)
 
     # ------------------------------------------------------------------
     # shared helpers / invariants

@@ -76,6 +76,8 @@ class _Replacement:
 class BlockMapFTL(BaseFTL):
     """One-to-one block mapping with in-order replacement blocks."""
 
+    _STATE_ATTRS = ("_data_map", "_free", "_open", "finalize_count")
+
     def __init__(
         self,
         geometry: Geometry,

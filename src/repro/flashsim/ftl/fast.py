@@ -75,6 +75,17 @@ class _SeqLog:
 class FastFTL(BaseFTL):
     """Shared random logs + one sequential log (FAST)."""
 
+    _STATE_ATTRS = (
+        "_data_map",
+        "_free",
+        "_shared_map",
+        "_ring",
+        "_current",
+        "_seq",
+        "_reclaiming",
+        "merge_stats",
+    )
+
     def __init__(
         self,
         geometry: Geometry,

@@ -111,6 +111,17 @@ class _LogBlock:
 class HybridLogFTL(BaseFTL):
     """Block-mapped FTL with a page-mapped (or in-order) log-block pool."""
 
+    _STATE_ATTRS = (
+        "_data_map",
+        "_free",
+        "_open_seq",
+        "_open_rnd",
+        "_pending",
+        "_pending_by_lblock",
+        "_stream_tails",
+        "merge_stats",
+    )
+
     def __init__(
         self,
         geometry: Geometry,

@@ -70,6 +70,20 @@ class PageMapConfig:
 class PageMapFTL(BaseFTL):
     """Direct page map + append log + greedy garbage collection."""
 
+    _STATE_ATTRS = (
+        "_l2p",
+        "_p2l",
+        "_valid",
+        "_state",
+        "_free",
+        "_host_active",
+        "_gc_active",
+        "_retired_at",
+        "_sequence",
+        "gc_collections",
+        "wear_relocations",
+    )
+
     def __init__(
         self,
         geometry: Geometry,

@@ -1,0 +1,60 @@
+"""Device snapshot/restore: reproducible state at constant cost.
+
+Section 4.1 of the paper makes enforced device state the precondition
+of every sound measurement — and building it (a random fill of the
+whole device) its dominant cost: 5 hours to 35 days per real device.
+The simulator pays the fill once per profile, captures the result in a
+:class:`DeviceSnapshot`, and restores it wherever a fresh enforced
+state is needed (benchmark-plan state resets, per-benchmark setup,
+campaign worker processes).
+
+Two properties make snapshots safe to share:
+
+* they are *deep copies* — a snapshot is independent of the live
+  device, both directions copy, so one snapshot supports any number of
+  restores and a restored device cannot mutate the snapshot;
+* they are *picklable* — the :class:`~repro.core.executor.CampaignExecutor`
+  ships one snapshot per profile to its worker processes, which restore
+  it onto freshly built devices; because the simulator is deterministic
+  the workers' results are bit-identical to a sequential execution.
+
+Every stateful layer participates: :class:`~repro.flashsim.chip.FlashChip`
+(tokens, write points, wear counters, bad blocks), each ``ftl/*``
+family (via :attr:`~repro.flashsim.ftl.base.BaseFTL._STATE_ATTRS`),
+:class:`~repro.flashsim.cache.WriteBackCache`,
+:class:`~repro.flashsim.controller.Controller` (verification shadow)
+and :class:`~repro.flashsim.clock.SimClock`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.flashsim.device import DeviceStats
+
+
+@dataclass
+class DeviceSnapshot:
+    """Complete copy of a :class:`~repro.flashsim.device.FlashDevice` state.
+
+    The identity fields (``device_name``, geometry dimensions,
+    ``ftl_type``) guard restores: a snapshot only fits a device with the
+    same shape, FTL family and cache configuration it was taken from.
+    """
+
+    device_name: str
+    logical_bytes: int
+    physical_blocks: int
+    ftl_type: str
+    chip: dict
+    ftl: dict
+    controller: dict
+    stats: DeviceStats
+    busy_until: float
+    bg_credit: float
+    noise_state: tuple
+
+
+__all__ = ["DeviceSnapshot"]

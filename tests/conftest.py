@@ -15,6 +15,7 @@ from repro.flashsim import FlashChip, Geometry, build_device
 from repro.flashsim.controller import Controller, ControllerConfig
 from repro.flashsim.device import FlashDevice
 from repro.flashsim.ftl.blockmap import BlockMapConfig, BlockMapFTL
+from repro.flashsim.ftl.fast import FastConfig, FastFTL
 from repro.flashsim.ftl.hybrid import HybridConfig, HybridLogFTL
 from repro.flashsim.ftl.pagemap import PageMapConfig, PageMapFTL
 from repro.flashsim.timing import TimingSpec
@@ -78,6 +79,8 @@ def make_device(
         ftl = HybridLogFTL(geometry, chip, config)
     elif ftl_kind == "blockmap":
         ftl = BlockMapFTL(geometry, chip, BlockMapConfig(replacement_slots=2))
+    elif ftl_kind == "fast":
+        ftl = FastFTL(geometry, chip, FastConfig(shared_log_blocks=4))
     else:
         ftl = PageMapFTL(
             geometry,

@@ -1,0 +1,104 @@
+"""Campaign executor: cells, memoization, sequential/parallel parity."""
+
+import json
+
+import pytest
+
+from repro.core.executor import (
+    CACHE_VERSION,
+    CampaignCell,
+    CampaignExecutor,
+    RunCache,
+    plan_cells,
+    results_by_experiment,
+    run_cell,
+)
+from repro.errors import ExperimentError
+from repro.units import KIB, MIB, SEC
+
+PROFILE = "kingston_dti"
+CAPACITY = 4 * MIB
+
+
+def order_cells():
+    return plan_cells(
+        PROFILE,
+        CAPACITY,
+        ["order"],
+        io_size=32 * KIB,
+        io_count=8,
+        pause_usec=0.1 * SEC,
+    )
+
+
+def test_plan_cells_enumerates_one_cell_per_experiment():
+    cells = order_cells()
+    assert [cell.experiment for cell in cells] == ["order/SR", "order/SW"]
+    assert all(cell.profile == PROFILE for cell in cells)
+    assert all(cell.capacity == CAPACITY for cell in cells)
+
+
+def test_executor_rejects_nonpositive_jobs():
+    with pytest.raises(ExperimentError):
+        CampaignExecutor(jobs=0)
+
+
+def test_run_cell_rejects_unknown_experiment():
+    executor = CampaignExecutor(enforce=False)
+    _, snapshot, _ = executor.prepare(PROFILE, CAPACITY)
+    bogus = CampaignCell(
+        profile=PROFILE, capacity=CAPACITY, benchmark="order",
+        experiment="order/NOPE", io_size=32 * KIB, io_count=8,
+    )
+    with pytest.raises(ExperimentError):
+        run_cell(bogus, snapshot)
+
+
+def test_cache_misses_then_hits_with_identical_payloads(tmp_path):
+    cells = order_cells()
+
+    first = CampaignExecutor(jobs=1, cache=tmp_path / "cache")
+    ran = first.execute(cells)
+    assert [outcome.cached for outcome in ran] == [False, False]
+    assert first.cache.misses == len(cells)
+    assert first.cache.hits == 0
+
+    # a brand-new executor (fresh StatePool, fresh cache object) against
+    # the same directory re-runs zero cells
+    second = CampaignExecutor(jobs=1, cache=tmp_path / "cache")
+    served = second.execute(cells)
+    assert [outcome.cached for outcome in served] == [True, True]
+    assert second.cache.hits == len(cells)
+    assert second.cache.misses == 0
+    assert [outcome.payload for outcome in served] == [
+        outcome.payload for outcome in ran
+    ]
+
+
+def test_cache_rejects_foreign_versions(tmp_path):
+    cache = RunCache(tmp_path)
+    cell = order_cells()[0]
+    key = cache.key(cell, "fingerprint", "digest")
+    path = cache.put(key, cell, {"rows": []})
+    entry = json.loads(path.read_text())
+    entry["version"] = CACHE_VERSION + 1
+    path.write_text(json.dumps(entry))
+    assert cache.get(key) is None
+    assert cache.misses == 1
+
+
+def test_parallel_execution_matches_sequential():
+    cells = order_cells()
+    sequential = CampaignExecutor(jobs=1).execute(cells)
+    parallel = CampaignExecutor(jobs=2).execute(cells)
+    assert [outcome.payload for outcome in parallel] == [
+        outcome.payload for outcome in sequential
+    ]
+
+
+def test_results_by_experiment_round_trips():
+    outcomes = CampaignExecutor(jobs=1).execute(order_cells())
+    results = results_by_experiment(outcomes)
+    assert set(results) == {"order/SR", "order/SW"}
+    for result in results.values():
+        assert all(row.mean_usec > 0 for row in result.rows)

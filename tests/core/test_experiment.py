@@ -103,3 +103,13 @@ def test_max_usec_row_aggregation():
     result = run_experiment(device, size_experiment(), pause_usec=1000.0)
     row = result.rows[0]
     assert row.max_usec >= row.mean_usec
+
+
+def test_empty_row_raises_instead_of_dividing_by_zero():
+    from repro.core.experiment import ExperimentRow
+
+    row = ExperimentRow(value=4 * KIB, label="SW")
+    with pytest.raises(ExperimentError, match="no recorded runs"):
+        row.mean_usec
+    with pytest.raises(ExperimentError, match="no recorded runs"):
+        row.max_usec
