@@ -44,7 +44,10 @@ from repro.flashsim import ALL_PROFILES, build_device, get_profile
 from repro.flashsim.power import MLC_POWER, SLC_POWER, measure_run_energy
 from repro.flashsim.wear import project_lifetime, wear_report
 from repro.iotypes import Mode
+from repro.obs.progress import ProgressReporter, configure_logging, get_logger
 from repro.units import MIB, SEC, fmt_size, parse_size
+
+_log = get_logger("repro.cli")
 
 
 def _add_device_argument(parser: argparse.ArgumentParser) -> None:
@@ -70,12 +73,13 @@ def _build_ready_device(args: argparse.Namespace):
     capacity = parse_size(args.capacity) if args.capacity else None
     device = build_device(args.device, logical_bytes=capacity)
     if not args.skip_state:
-        print(f"enforcing random state on {device.name} ...", file=sys.stderr)
+        _log.info("enforcing random state on %s ...", device.name)
         report = enforce_random_state(device)
-        print(
-            f"  {report.io_count} IOs, {fmt_size(report.bytes_written)} written "
-            f"({report.elapsed_usec / SEC:.0f}s simulated)",
-            file=sys.stderr,
+        _log.info(
+            "  %d IOs, %s written (%.0fs simulated)",
+            report.io_count,
+            fmt_size(report.bytes_written),
+            report.elapsed_usec / SEC,
         )
         rest_device(device, 30 * SEC)
     return device
@@ -204,7 +208,7 @@ def _cmd_table3(args: argparse.Namespace) -> int:
     for name in names:
         get_profile(name)  # fail fast on typos
         device = build_device(name)
-        print(f"measuring {name} ...", file=sys.stderr)
+        _log.info("measuring %s ...", name)
         enforce_random_state(device)
         summary = summarize_device(device, name)
         summaries.append(summary)
@@ -312,6 +316,10 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         plan_cells,
         results_by_experiment,
     )
+    from repro.core.executor import merge_outcome_metrics
+    from repro.obs import metrics as obs_metrics
+    from repro.obs import tracing as obs_tracing
+    from repro.obs.progress import metrics_table
 
     profiles = [name.strip() for name in args.device.split(",") if name.strip()]
     capacity = parse_size(args.capacity) if args.capacity else None
@@ -321,39 +329,72 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         enforce=not args.skip_state,
         enforce_seed=97,
     )
-    for profile in profiles:
-        cells = plan_cells(
-            profile,
-            capacity,
-            args.benchmarks,
-            io_size=parse_size(args.io_size),
-            io_count=args.count,
-            io_ignore=args.ignore,
-            pause_usec=args.pause * SEC,
-        )
-        outcomes = executor.execute(
-            cells, status=lambda message: print(message, file=sys.stderr)
-        )
-        cached = sum(1 for outcome in outcomes if outcome.cached)
-        label = args.label if len(profiles) == 1 else f"{args.label}-{profile}"
-        campaign = Campaign(
-            device=profile,
-            label=label,
-            results=results_by_experiment(outcomes),
-            metadata={
-                "io_size": args.io_size,
-                "io_count": str(args.count),
-                "benchmarks": ",".join(args.benchmarks),
-                "jobs": str(args.jobs),
-                "cells_run": str(len(outcomes) - cached),
-                "cells_cached": str(cached),
-            },
-        )
-        path = campaign.save(Path(args.out))
-        print(
-            f"campaign archived to {path} "
-            f"({len(outcomes) - cached} cell(s) run, {cached} from cache)"
-        )
+    registry = obs_metrics.install() if args.metrics else None
+    tracer = obs_tracing.install() if args.trace else None
+    try:
+        for profile in profiles:
+            cells = plan_cells(
+                profile,
+                capacity,
+                args.benchmarks,
+                io_size=parse_size(args.io_size),
+                io_count=args.count,
+                io_ignore=args.ignore,
+                pause_usec=args.pause * SEC,
+            )
+            reporter = ProgressReporter(total=len(cells), label=profile)
+            outcomes = executor.execute(
+                cells, status=reporter.status, progress=reporter.cell_done
+            )
+            cached = sum(1 for outcome in outcomes if outcome.cached)
+            label = args.label if len(profiles) == 1 else f"{args.label}-{profile}"
+            campaign = Campaign(
+                device=profile,
+                label=label,
+                results=results_by_experiment(outcomes),
+                metadata={
+                    "io_size": args.io_size,
+                    "io_count": str(args.count),
+                    "benchmarks": ",".join(args.benchmarks),
+                    "jobs": str(args.jobs),
+                    "cells_run": str(len(outcomes) - cached),
+                    "cells_cached": str(cached),
+                },
+            )
+            path = campaign.save(Path(args.out))
+            print(
+                f"campaign archived to {path} "
+                f"({len(outcomes) - cached} cell(s) run, {cached} from cache)"
+            )
+            if args.metrics:
+                merged = merge_outcome_metrics(outcomes)
+                if merged:
+                    print(metrics_table(merged, title=f"device metrics: {profile}"))
+        if executor.cache is not None:
+            cache = executor.cache
+            total = cache.hits + cache.misses
+            rate = cache.hits / total if total else 0.0
+            print(
+                f"run cache: {cache.hits} hit(s), {cache.misses} miss(es) "
+                f"({rate:.0%} hit rate), {fmt_size(cache.bytes_saved)} of "
+                f"simulated IO not re-measured"
+            )
+        if args.metrics and registry is not None:
+            snapshot = registry.snapshot()
+            core = {
+                name: value
+                for name, value in snapshot.counters.items()
+                if name.startswith("core.")
+            }
+            if core:
+                print(metrics_table(core, title="executor metrics"))
+    finally:
+        if args.trace and tracer is not None:
+            obs_tracing.uninstall()
+            tracer.write(args.trace)
+            _log.info("trace written to %s", args.trace)
+        if args.metrics:
+            obs_metrics.uninstall()
     return 0
 
 
@@ -401,6 +442,14 @@ def build_parser() -> argparse.ArgumentParser:
         prog="uflip",
         description="uFLIP flash IO pattern benchmark (CIDR 2009) on a "
         "simulated flash substrate",
+    )
+    parser.add_argument(
+        "-v", "--verbose", action="count", default=0,
+        help="more progress detail on stderr (repeatable)",
+    )
+    parser.add_argument(
+        "-q", "--quiet", action="count", default=0,
+        help="less progress detail on stderr (repeatable)",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -519,6 +568,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="run-cache directory; already-measured cells are served "
              "from it instead of re-running",
     )
+    campaign_parser.add_argument(
+        "--metrics", action="store_true",
+        help="collect device/executor metrics and print a campaign-end "
+             "summary table",
+    )
+    campaign_parser.add_argument(
+        "--trace", default="",
+        help="record campaign/cell/run spans and write Chrome trace-event "
+             "JSON to this path (load in Perfetto or chrome://tracing)",
+    )
     campaign_parser.set_defaults(func=_cmd_campaign)
 
     report_parser = subparsers.add_parser(
@@ -549,6 +608,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    configure_logging(args.verbose - args.quiet)
     return args.func(args)
 
 

@@ -29,6 +29,9 @@ from repro.errors import ExperimentError
 from repro.flashsim.device import FlashDevice
 from repro.flashsim.host import ParallelHost, SyncHost
 from repro.flashsim.trace import IOTrace
+from repro.obs import metrics as obs_metrics
+from repro.obs import tracing as obs_tracing
+from repro.obs.metrics import diff_counts
 
 
 # ----------------------------------------------------------------------
@@ -39,6 +42,12 @@ class BaseRun:
     """Shared surface of every run result: the spec and its label."""
 
     spec: Any
+
+    #: per-run device-counter delta (flat ``name -> value`` map), set by
+    #: :meth:`Engine.run` when a metrics registry is installed; ``None``
+    #: when observability is off.  A plain class attribute rather than a
+    #: dataclass field so subclasses with mandatory fields stay valid.
+    metrics: dict[str, float] | None = None
 
     @property
     def label(self) -> str:
@@ -149,7 +158,16 @@ class Engine:
         """
         handler = self._lookup(self._executors, type(spec), "executor")
         at = self.device.busy_until if start_at is None else start_at
-        return handler(self, spec, at)
+        registry = obs_metrics.current()
+        if registry is None and obs_tracing.current() is None:
+            return handler(self, spec, at)
+        with obs_tracing.span("run", cat="engine", label=spec.label):
+            before = self.device.metrics() if registry is not None else None
+            result = handler(self, spec, at)
+        if registry is not None:
+            result.metrics = diff_counts(self.device.metrics(), before)
+            registry.counter("core.engine.runs").inc()
+        return result
 
     # -- shared plumbing for the built-in executors --------------------
 

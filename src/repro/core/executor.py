@@ -29,7 +29,8 @@ import dataclasses
 import hashlib
 import json
 import multiprocessing
-from concurrent.futures import ProcessPoolExecutor
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Sequence
@@ -42,9 +43,31 @@ from repro.core.plan import TargetAllocator
 from repro.errors import ExperimentError, PlanError
 from repro.flashsim.profiles import build_device, get_profile
 from repro.flashsim.snapshot import DeviceSnapshot
+from repro.obs import metrics as obs_metrics
+from repro.obs import tracing as obs_tracing
+from repro.obs.metrics import MetricsSnapshot, diff_counts
 from repro.units import SEC
 
 CACHE_VERSION = 1
+
+
+@dataclass(frozen=True)
+class Observe:
+    """Which observability channels worker processes should record.
+
+    The executor derives this from the globals installed in the parent
+    process; it must travel explicitly because a ``fork``-started worker
+    *inherits* the parent's installed tracer/registry objects — recording
+    into those copies would silently lose everything, so workers shadow
+    them with fresh instances (or ``None``) based on these flags.
+    """
+
+    metrics: bool = False
+    tracing: bool = False
+
+
+#: the default: no observability channels recorded
+OBSERVE_NOTHING = Observe()
 
 
 # ----------------------------------------------------------------------
@@ -74,6 +97,11 @@ class CellOutcome:
     cell: CampaignCell
     payload: dict
     cached: bool = False
+    #: per-cell device-counter delta (``None`` when metrics were off both
+    #: when the cell ran and when its cache entry was written)
+    metrics: dict | None = None
+    #: host wall-clock time the cell took to execute (0 for cache hits)
+    wall_usec: float = 0.0
 
     def result(self) -> ExperimentResult:
         """The cell's measurements as an :class:`ExperimentResult`."""
@@ -138,38 +166,90 @@ def _cell_experiment(cell: CampaignCell, capacity: int) -> Experiment:
     )
 
 
+def _run_cell_body(cell: CampaignCell, snapshot: DeviceSnapshot) -> dict:
+    """Execute one cell; returns an envelope of payload + observability.
+
+    The single per-cell code path: the sequential executor calls it
+    inline (under the parent's installed tracer/registry, if any),
+    worker processes call it via :func:`_execute_cell_remote` under
+    their own.  Determinism makes the two executions bit-identical.
+
+    The envelope maps ``payload`` (the measurements), ``metrics`` (the
+    cell's device-counter delta, ``None`` when metrics are off) and
+    ``wall_usec`` (host wall-clock execution time).
+    """
+    registry = obs_metrics.current()
+    wall_start = time.perf_counter()
+    with obs_tracing.span(
+        "cell", cat="executor", profile=cell.profile, experiment=cell.experiment
+    ):
+        device = build_device(cell.profile, logical_bytes=cell.capacity)
+        device.restore(snapshot)
+        before = device.metrics() if registry is not None else None
+        experiment = _cell_experiment(cell, device.capacity)
+        allocator = TargetAllocator(device.capacity, device.geometry.block_size)
+
+        def allocate(spec):
+            placed = allocator.place(spec)
+            if placed is None:
+                # runtime guard, mirroring BenchmarkPlan.execute: restore
+                # the enforced state and restart the target space
+                device.restore(snapshot)
+                allocator.reset()
+                placed = allocator.place(spec)
+                if placed is None:
+                    raise PlanError("spec does not fit even on a fresh device")
+            return placed
+
+        result = run_experiment(
+            device,
+            experiment,
+            pause_usec=cell.pause_usec,
+            repetitions=cell.repetitions,
+            allocate=allocate,
+        )
+    envelope = {
+        "payload": result_to_payload(result),
+        "metrics": None,
+        "wall_usec": (time.perf_counter() - wall_start) * 1e6,
+    }
+    if registry is not None:
+        envelope["metrics"] = diff_counts(device.metrics(), before)
+        registry.counter("core.executor.cells_executed").inc()
+    return envelope
+
+
 def run_cell(cell: CampaignCell, snapshot: DeviceSnapshot) -> dict:
     """Execute one cell from a restored snapshot; returns the payload.
 
-    The single per-cell code path: the sequential executor calls it
-    inline, worker processes call it after unpickling their arguments.
-    Determinism makes the two executions bit-identical.
+    Compatibility front over :func:`_run_cell_body` for callers that
+    only want the measurements.
     """
-    device = build_device(cell.profile, logical_bytes=cell.capacity)
-    device.restore(snapshot)
-    experiment = _cell_experiment(cell, device.capacity)
-    allocator = TargetAllocator(device.capacity, device.geometry.block_size)
+    return _run_cell_body(cell, snapshot)["payload"]
 
-    def allocate(spec):
-        placed = allocator.place(spec)
-        if placed is None:
-            # runtime guard, mirroring BenchmarkPlan.execute: restore
-            # the enforced state and restart the target space
-            device.restore(snapshot)
-            allocator.reset()
-            placed = allocator.place(spec)
-            if placed is None:
-                raise PlanError("spec does not fit even on a fresh device")
-        return placed
 
-    result = run_experiment(
-        device,
-        experiment,
-        pause_usec=cell.pause_usec,
-        repetitions=cell.repetitions,
-        allocate=allocate,
+def _execute_cell_remote(
+    cell: CampaignCell, snapshot: DeviceSnapshot, observe: Observe
+) -> dict:
+    """Worker-process entry point for one cell.
+
+    Always shadows the process-global tracer/registry: under the
+    ``fork`` start method the worker inherits the parent's installed
+    objects, and spans or counts recorded into those copies would be
+    lost.  Fresh instances are installed when the parent observes the
+    matching channel; their contents travel home in the envelope
+    (``spans`` as picklable payload tuples, ``registry`` as a
+    :class:`MetricsSnapshot`) for the parent to absorb.
+    """
+    tracer = obs_tracing.Tracer() if observe.tracing else None
+    registry = obs_metrics.MetricsRegistry() if observe.metrics else None
+    with obs_tracing.installed(tracer), obs_metrics.installed(registry):
+        envelope = _run_cell_body(cell, snapshot)
+    envelope["spans"] = (
+        [span.to_payload() for span in tracer.spans] if tracer is not None else []
     )
-    return result_to_payload(result)
+    envelope["registry"] = registry.snapshot() if registry is not None else None
+    return envelope
 
 
 # ----------------------------------------------------------------------
@@ -191,6 +271,8 @@ class RunCache:
         self.directory.mkdir(parents=True, exist_ok=True)
         self.hits = 0
         self.misses = 0
+        #: simulated IO volume the hits avoided re-measuring
+        self.bytes_saved = 0
 
     @staticmethod
     def key(cell: CampaignCell, fingerprint: str, spec_digest: str) -> str:
@@ -221,8 +303,13 @@ class RunCache:
     def _path(self, key: str) -> Path:
         return self.directory / f"{key}.json"
 
-    def get(self, key: str) -> dict | None:
-        """The memoized payload for ``key``, or None on a miss."""
+    def get_entry(self, key: str, cell: CampaignCell | None = None) -> dict | None:
+        """The whole memoized entry for ``key``, or None on a miss.
+
+        Passing the ``cell`` lets the cache credit its bytes-saved
+        account on a hit: every hit avoids re-simulating the cell's IO
+        volume (io_count x io_size per repetition).
+        """
         path = self._path(key)
         try:
             entry = json.loads(path.read_text())
@@ -233,14 +320,30 @@ class RunCache:
             self.misses += 1
             return None
         self.hits += 1
-        return entry["payload"]
+        if cell is not None:
+            self.bytes_saved += cell.io_count * cell.io_size * max(1, cell.repetitions)
+        return entry
 
-    def put(self, key: str, cell: CampaignCell, payload: dict) -> Path:
-        """Store one executed cell's payload under ``key``."""
+    def get(self, key: str) -> dict | None:
+        """The memoized payload for ``key``, or None on a miss."""
+        entry = self.get_entry(key)
+        return entry["payload"] if entry is not None else None
+
+    def put(
+        self,
+        key: str,
+        cell: CampaignCell,
+        payload: dict,
+        metrics: dict | None = None,
+        wall_usec: float = 0.0,
+    ) -> Path:
+        """Store one executed cell's payload (and observability) under ``key``."""
         entry = {
             "version": CACHE_VERSION,
             "cell": dataclasses.asdict(cell),
             "payload": payload,
+            "metrics": metrics,
+            "wall_usec": wall_usec,
         }
         path = self._path(key)
         path.write_text(json.dumps(entry, indent=2))
@@ -302,54 +405,114 @@ class CampaignExecutor:
         self,
         cells: Sequence[CampaignCell],
         status: Callable[[str], None] | None = None,
+        progress: Callable[[CellOutcome, int, int], None] | None = None,
     ) -> list[CellOutcome]:
-        """Run every cell; outcomes come back in the order given."""
+        """Run every cell; outcomes come back in the order given.
+
+        ``progress`` fires once per cell *as it lands* — cache hits
+        immediately, executed cells in completion order (the parallel
+        path consumes futures with :func:`as_completed`, so one slow
+        cell cannot block reporting of the others).  The returned list
+        always follows the input order regardless.
+        """
         report = status or (lambda message: None)
-        outcomes: list[CellOutcome | None] = [None] * len(cells)
-        prepared: dict[tuple[str, int | None], tuple[int, DeviceSnapshot, str]] = {}
-        pending: list[tuple[int, CampaignCell, DeviceSnapshot, str | None]] = []
+        registry = obs_metrics.current()
+        tracer = obs_tracing.current()
+        observe = Observe(metrics=registry is not None, tracing=tracer is not None)
+        total = len(cells)
+        done = 0
 
-        for index, cell in enumerate(cells):
-            group = (cell.profile, cell.capacity)
-            if group not in prepared:
-                report(f"preparing enforced state for {cell.profile} ...")
-                prepared[group] = self.prepare(cell.profile, cell.capacity)
-            capacity, snapshot, fingerprint = prepared[group]
-            key = None
-            if self.cache is not None:
-                digest = self.cache.spec_digest(cell, capacity)
-                key = self.cache.key(cell, fingerprint, digest)
-                payload = self.cache.get(key)
-                if payload is not None:
-                    outcomes[index] = CellOutcome(cell=cell, payload=payload, cached=True)
-                    continue
-            pending.append((index, cell, snapshot, key))
+        def notify(outcome: CellOutcome) -> None:
+            nonlocal done
+            done += 1
+            if progress is not None:
+                progress(outcome, done, total)
 
-        if pending:
-            report(f"running {len(pending)} cell(s) with jobs={self.jobs}")
-        if self.jobs == 1 or len(pending) <= 1:
-            executed = [
-                (index, cell, key, run_cell(cell, snapshot))
-                for index, cell, snapshot, key in pending
-            ]
-        else:
-            workers = min(self.jobs, len(pending))
-            with ProcessPoolExecutor(
-                max_workers=workers, mp_context=_pool_context()
-            ) as pool:
-                futures = [
-                    pool.submit(run_cell, cell, snapshot)
-                    for _, cell, snapshot, _ in pending
-                ]
-                executed = [
-                    (index, cell, key, future.result())
-                    for (index, cell, _, key), future in zip(pending, futures)
-                ]
-
-        for index, cell, key, payload in executed:
-            outcomes[index] = CellOutcome(cell=cell, payload=payload, cached=False)
+        def finish(index: int, cell: CampaignCell, key: str | None, envelope: dict):
+            outcome = CellOutcome(
+                cell=cell,
+                payload=envelope["payload"],
+                cached=False,
+                metrics=envelope["metrics"],
+                wall_usec=envelope["wall_usec"],
+            )
+            outcomes[index] = outcome
             if self.cache is not None and key is not None:
-                self.cache.put(key, cell, payload)
+                self.cache.put(
+                    key,
+                    cell,
+                    envelope["payload"],
+                    metrics=envelope["metrics"],
+                    wall_usec=envelope["wall_usec"],
+                )
+            if registry is not None:
+                registry.histogram("core.executor.cell_wall_usec").observe(
+                    envelope["wall_usec"]
+                )
+            notify(outcome)
+
+        with obs_tracing.span("campaign", cat="executor", cells=total):
+            outcomes: list[CellOutcome | None] = [None] * len(cells)
+            prepared: dict[tuple[str, int | None], tuple[int, DeviceSnapshot, str]] = {}
+            pending: list[tuple[int, CampaignCell, DeviceSnapshot, str | None]] = []
+
+            for index, cell in enumerate(cells):
+                group = (cell.profile, cell.capacity)
+                if group not in prepared:
+                    report(f"preparing enforced state for {cell.profile} ...")
+                    with obs_tracing.span(
+                        "prepare", cat="executor", profile=cell.profile
+                    ):
+                        prepared[group] = self.prepare(cell.profile, cell.capacity)
+                capacity, snapshot, fingerprint = prepared[group]
+                key = None
+                if self.cache is not None:
+                    digest = self.cache.spec_digest(cell, capacity)
+                    key = self.cache.key(cell, fingerprint, digest)
+                    entry = self.cache.get_entry(key, cell)
+                    if entry is not None:
+                        outcome = CellOutcome(
+                            cell=cell,
+                            payload=entry["payload"],
+                            cached=True,
+                            metrics=entry.get("metrics"),
+                            wall_usec=0.0,
+                        )
+                        outcomes[index] = outcome
+                        if registry is not None:
+                            registry.counter("core.executor.cells_cached").inc()
+                        notify(outcome)
+                        continue
+                pending.append((index, cell, snapshot, key))
+
+            if pending:
+                report(f"running {len(pending)} cell(s) with jobs={self.jobs}")
+            if self.jobs == 1 or len(pending) <= 1:
+                for index, cell, snapshot, key in pending:
+                    finish(index, cell, key, _run_cell_body(cell, snapshot))
+            else:
+                workers = min(self.jobs, len(pending))
+                with ProcessPoolExecutor(
+                    max_workers=workers, mp_context=_pool_context()
+                ) as pool:
+                    futures = {
+                        pool.submit(_execute_cell_remote, cell, snapshot, observe): (
+                            index,
+                            cell,
+                            key,
+                        )
+                        for index, cell, snapshot, key in pending
+                    }
+                    for future in as_completed(futures):
+                        index, cell, key = futures[future]
+                        envelope = future.result()
+                        if tracer is not None and envelope.get("spans"):
+                            tracer.absorb(envelope["spans"])
+                        if registry is not None and envelope.get("registry") is not None:
+                            registry.absorb(envelope["registry"])
+                        finish(index, cell, key, envelope)
+            if registry is not None:
+                registry.counter("core.executor.cells_total").inc(total)
         return [outcome for outcome in outcomes if outcome is not None]
 
 
@@ -358,11 +521,25 @@ def results_by_experiment(outcomes: Sequence[CellOutcome]) -> dict[str, Experime
     return {outcome.cell.experiment: outcome.result() for outcome in outcomes}
 
 
+def merge_outcome_metrics(outcomes: Sequence[CellOutcome]) -> dict[str, float]:
+    """Campaign-wide metrics: the sum of every cell's counter delta.
+
+    Cells without metrics (observability was off when they ran and when
+    they were cached) contribute nothing.
+    """
+    from repro.obs.metrics import merge_counts
+
+    return merge_counts(*(outcome.metrics for outcome in outcomes))
+
+
 __all__ = [
     "CampaignCell",
     "CampaignExecutor",
     "CellOutcome",
+    "Observe",
+    "OBSERVE_NOTHING",
     "RunCache",
+    "merge_outcome_metrics",
     "plan_cells",
     "results_by_experiment",
     "run_cell",

@@ -22,6 +22,8 @@ from typing import TYPE_CHECKING
 from repro.core.patterns import PatternSpec
 from repro.flashsim.device import FlashDevice
 from repro.iotypes import IORequest, Mode
+from repro.obs import metrics as obs_metrics
+from repro.obs import tracing as obs_tracing
 from repro.units import SECTOR
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -143,6 +145,8 @@ class StatePool:
 
     def __init__(self) -> None:
         self._states: dict[tuple, EnforcedState] = {}
+        self.hits = 0
+        self.misses = 0
 
     def __len__(self) -> int:
         return len(self._states)
@@ -162,25 +166,35 @@ class StatePool:
         """
         key = (device.name, device.geometry.logical_bytes, method, coverage, seed)
         state = self._states.get(key)
+        registry = obs_metrics.current()
         if state is not None:
+            self.hits += 1
+            if registry is not None:
+                registry.counter("core.state_pool.hits").inc()
             device.restore(state.snapshot)
             return state
-        if method == "random":
-            report = enforce_random_state(device, coverage=coverage, seed=seed)
-        elif method == "sequential":
-            report = enforce_sequential_state(device)
-        elif method == "none":
-            report = StateReport(
-                method="none", io_count=0, bytes_written=0,
-                elapsed_usec=0.0, mean_io_usec=0.0,
+        self.misses += 1
+        if registry is not None:
+            registry.counter("core.state_pool.misses").inc()
+        with obs_tracing.span(
+            "enforce", cat="methodology", device=device.name, method=method
+        ):
+            if method == "random":
+                report = enforce_random_state(device, coverage=coverage, seed=seed)
+            elif method == "sequential":
+                report = enforce_sequential_state(device)
+            elif method == "none":
+                report = StateReport(
+                    method="none", io_count=0, bytes_written=0,
+                    elapsed_usec=0.0, mean_io_usec=0.0,
+                )
+            else:
+                raise ValueError(f"unknown state-enforcement method {method!r}")
+            state = EnforcedState(
+                report=report,
+                snapshot=device.snapshot(),
+                fingerprint=device.fingerprint(),
             )
-        else:
-            raise ValueError(f"unknown state-enforcement method {method!r}")
-        state = EnforcedState(
-            report=report,
-            snapshot=device.snapshot(),
-            fingerprint=device.fingerprint(),
-        )
         self._states[key] = state
         return state
 

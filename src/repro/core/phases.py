@@ -158,9 +158,12 @@ def measure_phases(
     "very large" counts here; callers pass something several times the
     expected start-up).
     """
+    from repro.obs import tracing as obs_tracing
+
     analyses: dict[str, PhaseAnalysis] = {}
     for label, spec in baseline_specs.items():
         run_spec = spec if io_count is None else spec.with_(io_count=io_count)
-        run = execute(device, run_spec)
-        analyses[label] = detect_phases(run.trace.response_times())
+        with obs_tracing.span("phase-baseline", cat="phases", label=label):
+            run = execute(device, run_spec)
+            analyses[label] = detect_phases(run.trace.response_times())
     return PhaseProfile(analyses=analyses)

@@ -29,6 +29,7 @@ from repro.core.patterns import (
 )
 from repro.errors import PlanError
 from repro.flashsim.device import FlashDevice
+from repro.obs import tracing as obs_tracing
 from repro.units import SEC
 
 
@@ -314,13 +315,15 @@ class BenchmarkPlan:
 
         for step in self.steps:
             if isinstance(step, StateReset):
-                reset_state()
+                with obs_tracing.span("state-reset", cat="plan"):
+                    reset_state()
                 continue
-            results[step.name] = run_experiment(
-                device,
-                step,
-                pause_usec=pause_usec,
-                repetitions=repetitions,
-                allocate=allocate,
-            )
+            with obs_tracing.span("experiment", cat="plan", experiment=step.name):
+                results[step.name] = run_experiment(
+                    device,
+                    step,
+                    pause_usec=pause_usec,
+                    repetitions=repetitions,
+                    allocate=allocate,
+                )
         return results

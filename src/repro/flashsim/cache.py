@@ -126,6 +126,23 @@ class WriteBackCache:
         self.destaged_pages = state["destaged_pages"]
 
     # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+
+    def metrics(self) -> dict[str, float]:
+        """Cumulative cache traffic counters as a flat ``cache.*`` map.
+
+        Hits count dirty-page overwrites and reads served from RAM;
+        destages are the eviction traffic that actually reached flash.
+        """
+        return {
+            "cache.hits": float(self.hits),
+            "cache.misses": float(self.misses),
+            "cache.destaged_groups": float(self.destaged_groups),
+            "cache.destaged_pages": float(self.destaged_pages),
+        }
+
+    # ------------------------------------------------------------------
     # destaging
     # ------------------------------------------------------------------
 

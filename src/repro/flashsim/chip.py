@@ -217,6 +217,21 @@ class FlashChip:
     # block health and introspection
     # ------------------------------------------------------------------
 
+    def metrics(self) -> dict[str, float]:
+        """Cumulative operation counters as a flat ``chip.*`` map.
+
+        Sampled by :meth:`FlashDevice.metrics` at run and cell
+        boundaries; every value is a monotonic counter, so two samples
+        subtract into the physical work done between them.
+        """
+        return {
+            "chip.page_reads": float(self.stats.page_reads),
+            "chip.page_programs": float(self.stats.page_programs),
+            "chip.block_erases": float(self.stats.block_erases),
+            "chip.program_failures": float(self.stats.program_failures),
+            "chip.erase_failures": float(self.stats.erase_failures),
+        }
+
     def mark_bad(self, block: int) -> None:
         """Retire a block; it will reject all further operations."""
         self._check_block(block)

@@ -199,6 +199,19 @@ class Controller:
         hasher.update(str(self._next_token).encode())
 
     # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+
+    def metrics(self) -> dict[str, float]:
+        """Cumulative controller-layer counters (the RAM cache's, today).
+
+        Controllers without a write-back cache contribute nothing.
+        """
+        if self.cache is None:
+            return {}
+        return self.cache.metrics()
+
+    # ------------------------------------------------------------------
     # maintenance
     # ------------------------------------------------------------------
 

@@ -44,6 +44,8 @@ class DeviceStats:
     background_units: int = 0
     background_usec: float = 0.0
     interfered_reads: int = 0
+    queued_ios: int = 0
+    queue_wait_usec: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -136,6 +138,9 @@ class FlashDevice:
                 f"{self.geometry.logical_bytes}"
             )
         start = max(now, self._busy_until)
+        if start > now:
+            self.stats.queued_ios += 1
+            self.stats.queue_wait_usec += start - now
         self._grant_background(max(0.0, start - self._busy_until))
 
         cost = CostAccumulator()
@@ -317,6 +322,35 @@ class FlashDevice:
         else:
             self.stats.writes += 1
             self.stats.bytes_written += request.size
+
+    def metrics(self) -> dict[str, float]:
+        """Cumulative counters for every layer as one flat map.
+
+        Composes the device's own IO accounting with the chip's
+        operation counters, the FTL's reclamation counters (under an
+        ``ftl.`` prefix) and the controller/cache traffic.  All values
+        are monotonic, so the campaign executor samples this at run and
+        cell boundaries and subtracts — the simulator's per-IO hot path
+        carries no extra instrumentation.
+        """
+        counts = {
+            "device.reads": float(self.stats.reads),
+            "device.writes": float(self.stats.writes),
+            "device.bytes_read": float(self.stats.bytes_read),
+            "device.bytes_written": float(self.stats.bytes_written),
+            "device.busy_usec": self.stats.busy_usec,
+            "device.background_units": float(self.stats.background_units),
+            "device.background_usec": self.stats.background_usec,
+            "device.interfered_reads": float(self.stats.interfered_reads),
+            "device.queued_ios": float(self.stats.queued_ios),
+            "device.queue_wait_usec": self.stats.queue_wait_usec,
+        }
+        counts.update(self.chip.metrics())
+        counts.update(
+            (f"ftl.{name}", value) for name, value in self.ftl.metrics().items()
+        )
+        counts.update(self.controller.metrics())
+        return counts
 
     @property
     def busy_until(self) -> float:

@@ -157,6 +157,20 @@ class BaseFTL(ABC):
             setattr(self, name, value)
 
     # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+
+    def metrics(self) -> dict[str, float]:
+        """Cumulative reclamation counters as a flat ``name -> value`` map.
+
+        Sampled by :meth:`FlashDevice.metrics` (under an ``ftl.`` prefix)
+        at run and cell boundaries; subclasses expose whatever makes
+        their reclamation behaviour interpretable (GC victims collected,
+        merges by kind, copy volume).  Default: nothing.
+        """
+        return {}
+
+    # ------------------------------------------------------------------
     # shared helpers / invariants
     # ------------------------------------------------------------------
 

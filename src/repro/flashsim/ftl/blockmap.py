@@ -233,6 +233,10 @@ class BlockMapFTL(BaseFTL):
     # introspection & invariants
     # ------------------------------------------------------------------
 
+    def metrics(self) -> dict[str, float]:
+        """See :meth:`BaseFTL.metrics`: replacement-block finalisations."""
+        return {"finalizations": float(self.finalize_count)}
+
     def free_blocks(self) -> int:
         """Number of erased, unassigned physical blocks."""
         return len(self._free)

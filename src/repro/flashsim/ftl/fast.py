@@ -325,6 +325,14 @@ class FastFTL(BaseFTL):
     # introspection & invariants
     # ------------------------------------------------------------------
 
+    def metrics(self) -> dict[str, float]:
+        """See :meth:`BaseFTL.metrics`: switch merges, full merges, ring reclaims."""
+        return {
+            "switch_merges": float(self.merge_stats["switch"]),
+            "full_merges": float(self.merge_stats["full"]),
+            "log_reclaims": float(self.merge_stats["log-reclaims"]),
+        }
+
     def free_blocks(self) -> int:
         """Number of erased, unassigned physical blocks."""
         return len(self._free)

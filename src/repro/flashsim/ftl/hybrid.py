@@ -120,6 +120,8 @@ class HybridLogFTL(BaseFTL):
         "_pending_by_lblock",
         "_stream_tails",
         "merge_stats",
+        "merge_copy_reads",
+        "merge_copy_programs",
     )
 
     def __init__(
@@ -165,6 +167,8 @@ class HybridLogFTL(BaseFTL):
         self._stream_tails: OrderedDict[int, int] = OrderedDict()
         self._stream_tail_capacity = 4 * self.config.log_blocks
         self.merge_stats = {"switch": 0, "partial": 0, "full": 0}
+        self.merge_copy_reads = 0
+        self.merge_copy_programs = 0
 
     # ------------------------------------------------------------------
     # reads
@@ -455,13 +459,16 @@ class HybridLogFTL(BaseFTL):
             if offset in log.latest:
                 token = self.chip.read(log.pblock, log.latest[offset])
                 cost.copy_reads += 1
+                self.merge_copy_reads += 1
             elif old >= 0 and offset < self.chip.write_point(old):
                 token = self.chip.read(old, offset)
                 cost.copy_reads += 1
+                self.merge_copy_reads += 1
             else:
                 token = ERASED
             self.chip.program(target, offset, token if token != ERASED else FILLER_TOKEN)
             cost.copy_programs += 1
+            self.merge_copy_programs += 1
             written += 1
         self._data_map[log.lblock] = target
         self.chip.erase(log.pblock)
@@ -482,10 +489,12 @@ class HybridLogFTL(BaseFTL):
             for offset in range(log.next_pos, tail_end):
                 token = self.chip.read(old, offset)
                 cost.copy_reads += 1
+                self.merge_copy_reads += 1
                 self.chip.program(
                     log.pblock, offset, token if token != ERASED else FILLER_TOKEN
                 )
                 cost.copy_programs += 1
+                self.merge_copy_programs += 1
         self._data_map[log.lblock] = log.pblock
         if old >= 0:
             self.chip.erase(old)
@@ -527,6 +536,16 @@ class HybridLogFTL(BaseFTL):
     # ------------------------------------------------------------------
     # introspection & invariants
     # ------------------------------------------------------------------
+
+    def metrics(self) -> dict[str, float]:
+        """See :meth:`BaseFTL.metrics`: merges by kind and copy volume."""
+        return {
+            "switch_merges": float(self.merge_stats["switch"]),
+            "partial_merges": float(self.merge_stats["partial"]),
+            "full_merges": float(self.merge_stats["full"]),
+            "merge_copy_reads": float(self.merge_copy_reads),
+            "merge_copy_programs": float(self.merge_copy_programs),
+        }
 
     def free_blocks(self) -> int:
         """Number of erased, unassigned physical blocks."""

@@ -82,6 +82,8 @@ class PageMapFTL(BaseFTL):
         "_sequence",
         "gc_collections",
         "wear_relocations",
+        "gc_copy_reads",
+        "gc_copy_programs",
     )
 
     def __init__(
@@ -114,6 +116,8 @@ class PageMapFTL(BaseFTL):
         self._sequence = 0
         self.gc_collections = 0
         self.wear_relocations = 0
+        self.gc_copy_reads = 0
+        self.gc_copy_programs = 0
 
     # ------------------------------------------------------------------
     # allocation
@@ -249,9 +253,11 @@ class PageMapFTL(BaseFTL):
                 continue
             token = self.chip.read(victim, offset)
             cost.copy_reads += 1
+            self.gc_copy_reads += 1
             self._invalidate(lpage)
             self._append(lpage, token, host=False, cost=cost)
             cost.copy_programs += 1
+            self.gc_copy_programs += 1
         self.chip.erase(victim)
         cost.block_erases += 1
         self._valid[victim] = 0
@@ -297,6 +303,15 @@ class PageMapFTL(BaseFTL):
     # ------------------------------------------------------------------
     # introspection & invariants
     # ------------------------------------------------------------------
+
+    def metrics(self) -> dict[str, float]:
+        """See :meth:`BaseFTL.metrics`: GC victims, wear moves, copy volume."""
+        return {
+            "gc_collections": float(self.gc_collections),
+            "gc_copy_reads": float(self.gc_copy_reads),
+            "gc_copy_programs": float(self.gc_copy_programs),
+            "wear_relocations": float(self.wear_relocations),
+        }
 
     def free_blocks(self) -> int:
         """Number of erased, unassigned physical blocks."""

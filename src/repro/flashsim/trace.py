@@ -53,7 +53,7 @@ class TraceRow:
     copy_reads: int
     copy_programs: int
     block_erases: int
-    notes: str
+    notes: tuple[str, ...]
 
 
 class IOTrace:
@@ -138,7 +138,9 @@ class IOTrace:
                     copy_reads=int(record["copy_reads"]),
                     copy_programs=int(record["copy_programs"]),
                     block_erases=int(record["block_erases"]),
-                    notes=record["notes"],
+                    # to_csv joins the cost notes with ";"; split them
+                    # back so a parsed row mirrors CostAccumulator.notes
+                    notes=tuple(record["notes"].split(";")) if record["notes"] else (),
                 )
             )
         return rows

@@ -1,0 +1,51 @@
+"""``repro.obs`` — the observability layer: metrics, traces, progress.
+
+The paper's methodology *measures and records every individual IO*
+(Section 3.2, design principle 1); this package extends the same
+discipline to the simulator's internals.  Three stdlib-only modules:
+
+* :mod:`~repro.obs.metrics` — a registry of counters, gauges and
+  histograms with picklable snapshots; the simulator layers expose
+  cumulative counters (chip operations, FTL reclamation, cache traffic,
+  queue waits) that the campaign executor samples into per-cell deltas;
+* :mod:`~repro.obs.tracing` — span-based tracing around campaign →
+  prepare/enforce → cell → run boundaries, exportable as Chrome
+  trace-event JSON (loadable in Perfetto); spans recorded in worker
+  processes are shipped back with the cell result and re-based onto the
+  parent timeline;
+* :mod:`~repro.obs.progress` — structured ``logging``-based campaign
+  progress reporting plus the campaign-end metrics summary table.
+
+Everything is **off by default and zero-cost when disabled**: the
+instrumented call sites guard on a process-global registry/tracer being
+installed, and the per-IO hot path is never touched — the simulator
+already counts its physical work, the observability layer only samples
+those counters at run and cell boundaries.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    MetricsSnapshot,
+    diff_counts,
+    merge_counts,
+)
+from repro.obs.progress import ProgressReporter, configure_logging, get_logger
+from repro.obs.tracing import Span, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "ProgressReporter",
+    "Span",
+    "Tracer",
+    "configure_logging",
+    "diff_counts",
+    "get_logger",
+    "merge_counts",
+]

@@ -1,0 +1,379 @@
+"""Lightweight metrics: counters, gauges, histograms and snapshots.
+
+A :class:`MetricsRegistry` holds named instruments; a
+:class:`MetricsSnapshot` is a plain, picklable copy of their values that
+supports ``delta`` (what happened between two samples) and ``merge``
+(fold per-cell or per-worker snapshots into a campaign-wide view) — the
+two operations a parallel campaign needs, since worker processes cannot
+share live instruments across a process boundary.
+
+Enabling is explicit: :func:`install` makes a registry the process
+default and instrumented call sites fetch it with :func:`current`, which
+returns ``None`` when observability is off.  Every guarded site is at
+run/cell granularity (never per IO), so a disabled registry costs one
+``is None`` check per *run* — unmeasurable next to the run itself.
+
+The simulator layers additionally expose cumulative counter samplers
+(``FlashDevice.metrics()`` and friends) returning flat ``name -> value``
+mappings; :func:`diff_counts` turns two samples into the work done
+between them and :func:`merge_counts` sums such deltas campaign-wide.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+#: default histogram bucket upper bounds (microseconds-flavoured, but
+#: callers measuring other units simply pass their own bounds)
+DEFAULT_BUCKETS = (
+    100.0,
+    1_000.0,
+    10_000.0,
+    100_000.0,
+    1_000_000.0,
+    10_000_000.0,
+)
+
+
+class Counter:
+    """A monotonically increasing value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be >= 0) to the counter."""
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+
+class Gauge:
+    """A value that can go up and down (e.g. a pool level)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        """Record the current level."""
+        self.value = float(value)
+
+
+class Histogram:
+    """Observation counts bucketed by upper bound, plus sum and count.
+
+    Buckets are *non-cumulative*: ``counts[i]`` is the number of
+    observations in ``(bounds[i-1], bounds[i]]``, with one overflow
+    bucket past the last bound.
+    """
+
+    __slots__ = ("bounds", "counts", "total", "count")
+
+    def __init__(self, bounds: Iterable[float] = DEFAULT_BUCKETS) -> None:
+        self.bounds = tuple(sorted(float(b) for b in bounds))
+        if not self.bounds:
+            raise ValueError("a histogram needs at least one bucket bound")
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.total = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        for position, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.counts[position] += 1
+                break
+        else:
+            self.counts[-1] += 1
+        self.total += value
+        self.count += 1
+
+    @property
+    def mean(self) -> float:
+        """Mean of all observations (0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def state(self) -> "HistogramState":
+        """Picklable copy of the histogram's current contents."""
+        return HistogramState(
+            bounds=self.bounds,
+            counts=tuple(self.counts),
+            total=self.total,
+            count=self.count,
+        )
+
+
+@dataclass(frozen=True)
+class HistogramState:
+    """Frozen, picklable histogram contents (see :class:`Histogram`)."""
+
+    bounds: tuple
+    counts: tuple
+    total: float
+    count: int
+
+    @property
+    def mean(self) -> float:
+        """Mean of the recorded observations (0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def delta(self, earlier: "HistogramState") -> "HistogramState":
+        """Observations recorded between ``earlier`` and this state."""
+        if earlier.bounds != self.bounds:
+            raise ValueError("histogram deltas need identical bucket bounds")
+        return HistogramState(
+            bounds=self.bounds,
+            counts=tuple(a - b for a, b in zip(self.counts, earlier.counts)),
+            total=self.total - earlier.total,
+            count=self.count - earlier.count,
+        )
+
+    def merge(self, other: "HistogramState") -> "HistogramState":
+        """Combine two independent histograms bucket-wise."""
+        if other.bounds != self.bounds:
+            raise ValueError("histogram merges need identical bucket bounds")
+        return HistogramState(
+            bounds=self.bounds,
+            counts=tuple(a + b for a, b in zip(self.counts, other.counts)),
+            total=self.total + other.total,
+            count=self.count + other.count,
+        )
+
+
+@dataclass(frozen=True)
+class MetricsSnapshot:
+    """Plain-data copy of a registry's values at one instant.
+
+    Snapshots are picklable and JSON-friendly, so they cross process
+    boundaries in worker results and ride along in run-cache entries.
+    """
+
+    counters: dict = field(default_factory=dict)
+    gauges: dict = field(default_factory=dict)
+    histograms: dict = field(default_factory=dict)
+
+    def delta(self, earlier: "MetricsSnapshot") -> "MetricsSnapshot":
+        """What happened between ``earlier`` and this snapshot.
+
+        Counters and histograms subtract; gauges are levels, not flows,
+        so the later sample's values are kept as-is.
+        """
+        counters = {
+            name: value - earlier.counters.get(name, 0.0)
+            for name, value in self.counters.items()
+        }
+        histograms = {}
+        for name, state in self.histograms.items():
+            before = earlier.histograms.get(name)
+            histograms[name] = state.delta(before) if before else state
+        return MetricsSnapshot(
+            counters=counters, gauges=dict(self.gauges), histograms=histograms
+        )
+
+    def merge(self, other: "MetricsSnapshot") -> "MetricsSnapshot":
+        """Fold an independent snapshot (another cell, another worker)
+        into this one: counters and histograms add, gauges keep the
+        maximum level observed."""
+        counters = dict(self.counters)
+        for name, value in other.counters.items():
+            counters[name] = counters.get(name, 0.0) + value
+        gauges = dict(self.gauges)
+        for name, value in other.gauges.items():
+            gauges[name] = max(gauges.get(name, value), value)
+        histograms = dict(self.histograms)
+        for name, state in other.histograms.items():
+            mine = histograms.get(name)
+            histograms[name] = mine.merge(state) if mine else state
+        return MetricsSnapshot(counters=counters, gauges=gauges, histograms=histograms)
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable form (run-cache entries, artifacts)."""
+        return {
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "histograms": {
+                name: {
+                    "bounds": list(state.bounds),
+                    "counts": list(state.counts),
+                    "total": state.total,
+                    "count": state.count,
+                }
+                for name, state in self.histograms.items()
+            },
+        }
+
+    @staticmethod
+    def from_dict(payload: Mapping) -> "MetricsSnapshot":
+        """Inverse of :meth:`to_dict`."""
+        return MetricsSnapshot(
+            counters=dict(payload.get("counters", {})),
+            gauges=dict(payload.get("gauges", {})),
+            histograms={
+                name: HistogramState(
+                    bounds=tuple(entry["bounds"]),
+                    counts=tuple(entry["counts"]),
+                    total=entry["total"],
+                    count=entry["count"],
+                )
+                for name, entry in payload.get("histograms", {}).items()
+            },
+        )
+
+
+class MetricsRegistry:
+    """Named instruments, created on first use.
+
+    One registry per process; worker processes build their own and ship
+    a :class:`MetricsSnapshot` home with each cell result.
+    """
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        """The counter called ``name``, created on first use."""
+        instrument = self._counters.get(name)
+        if instrument is None:
+            instrument = self._counters[name] = Counter()
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge called ``name``, created on first use."""
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            instrument = self._gauges[name] = Gauge()
+        return instrument
+
+    def histogram(self, name: str, bounds: Iterable[float] = DEFAULT_BUCKETS) -> Histogram:
+        """The histogram called ``name``, created on first use."""
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            instrument = self._histograms[name] = Histogram(bounds)
+        return instrument
+
+    def snapshot(self) -> MetricsSnapshot:
+        """Picklable copy of every instrument's current value."""
+        return MetricsSnapshot(
+            counters={name: c.value for name, c in self._counters.items()},
+            gauges={name: g.value for name, g in self._gauges.items()},
+            histograms={name: h.state() for name, h in self._histograms.items()},
+        )
+
+    def absorb(self, snapshot: MetricsSnapshot) -> None:
+        """Fold a worker's snapshot into this registry's instruments."""
+        for name, value in snapshot.counters.items():
+            self.counter(name).inc(value)
+        for name, value in snapshot.gauges.items():
+            gauge = self.gauge(name)
+            gauge.set(max(gauge.value, value))
+        for name, state in snapshot.histograms.items():
+            histogram = self.histogram(name, state.bounds)
+            for position, count in enumerate(state.counts):
+                histogram.counts[position] += count
+            histogram.total += state.total
+            histogram.count += state.count
+
+
+# ----------------------------------------------------------------------
+# the process-global registry (None = observability off)
+# ----------------------------------------------------------------------
+
+_current: MetricsRegistry | None = None
+
+
+def install(registry: MetricsRegistry | None = None) -> MetricsRegistry:
+    """Make ``registry`` (or a fresh one) the process default."""
+    global _current
+    _current = registry if registry is not None else MetricsRegistry()
+    return _current
+
+
+def uninstall() -> MetricsRegistry | None:
+    """Disable metrics collection; returns the registry that was active."""
+    global _current
+    registry, _current = _current, None
+    return registry
+
+
+def current() -> MetricsRegistry | None:
+    """The active registry, or ``None`` when metrics are disabled."""
+    return _current
+
+
+class installed:
+    """Context manager installing ``registry`` for the block's duration.
+
+    ``registry=None`` explicitly *disables* metrics inside the block —
+    worker processes use this to shadow a registry inherited through
+    ``fork`` (whose instruments would silently swallow their counts).
+    The previous registry is restored on exit.
+    """
+
+    def __init__(self, registry: MetricsRegistry | None) -> None:
+        self.registry = registry
+        self._previous: MetricsRegistry | None = None
+
+    def __enter__(self) -> MetricsRegistry | None:
+        global _current
+        self._previous = _current
+        _current = self.registry
+        return self.registry
+
+    def __exit__(self, *exc_info) -> None:
+        global _current
+        _current = self._previous
+
+
+# ----------------------------------------------------------------------
+# flat counter-map helpers (the simulator layers' samplers)
+# ----------------------------------------------------------------------
+
+def diff_counts(
+    after: Mapping[str, float], before: Mapping[str, float]
+) -> dict[str, float]:
+    """Per-name difference of two cumulative counter samples.
+
+    Names missing from ``before`` count from zero; names that did not
+    change are dropped, keeping per-run deltas small.
+    """
+    delta = {}
+    for name, value in after.items():
+        change = value - before.get(name, 0.0)
+        if change:
+            delta[name] = change
+    return delta
+
+
+def merge_counts(*maps: Mapping[str, float] | None) -> dict[str, float]:
+    """Sum counter maps name-wise (``None`` entries are skipped)."""
+    merged: dict[str, float] = {}
+    for counts in maps:
+        if not counts:
+            continue
+        for name, value in counts.items():
+            merged[name] = merged.get(name, 0.0) + value
+    return merged
+
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "HistogramState",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "current",
+    "diff_counts",
+    "install",
+    "installed",
+    "merge_counts",
+    "uninstall",
+]

@@ -1,0 +1,107 @@
+"""Structured campaign progress reporting and the metrics summary.
+
+Replaces the ad-hoc ``print(..., file=sys.stderr)`` status plumbing with
+the stdlib ``logging`` machinery: everything user-facing-but-not-a-result
+goes through the ``repro`` logger, whose verbosity the CLI's ``-v``/``-q``
+flags control.  Results proper (tables, archive paths) stay on stdout.
+
+:class:`ProgressReporter` is the campaign executor's live view: driven
+by as-completed futures, it logs one line per finished cell — wall
+time, cached/ran state, position — the moment the cell lands, not when
+its submit-order predecessors do.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import TYPE_CHECKING, Mapping
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.executor import CellOutcome
+
+LOGGER_NAME = "repro"
+
+#: marker distinguishing our handler from ones the host app installed
+_HANDLER_FLAG = "_repro_progress_handler"
+
+
+def get_logger(name: str = LOGGER_NAME) -> logging.Logger:
+    """The package logger (``repro`` or a child like ``repro.campaign``)."""
+    return logging.getLogger(name)
+
+
+def configure_logging(verbosity: int = 0, stream=None) -> logging.Logger:
+    """Wire the ``repro`` logger to stderr at a verbosity level.
+
+    ``verbosity`` is ``-v`` count minus ``-q`` count: ``>= 1`` shows
+    debug detail, ``0`` (the default) shows progress, ``-1`` warnings
+    only, ``<= -2`` errors only.  Idempotent — re-configuring replaces
+    the handler this function installed, never ones the host app owns.
+    """
+    if verbosity >= 1:
+        level = logging.DEBUG
+    elif verbosity == 0:
+        level = logging.INFO
+    elif verbosity == -1:
+        level = logging.WARNING
+    else:
+        level = logging.ERROR
+    logger = logging.getLogger(LOGGER_NAME)
+    logger.setLevel(level)
+    for handler in list(logger.handlers):
+        if getattr(handler, _HANDLER_FLAG, False):
+            logger.removeHandler(handler)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(logging.Formatter("%(message)s"))
+    setattr(handler, _HANDLER_FLAG, True)
+    logger.addHandler(handler)
+    logger.propagate = False
+    return logger
+
+
+class ProgressReporter:
+    """Live per-cell campaign progress on the ``repro.campaign`` logger."""
+
+    def __init__(self, total: int, label: str = "", logger: logging.Logger | None = None) -> None:
+        self.total = total
+        self.label = label
+        self.logger = logger or get_logger("repro.campaign")
+
+    def status(self, message: str) -> None:
+        """Free-form status line (state preparation, pool start-up)."""
+        self.logger.info(message)
+
+    def cell_done(self, outcome: "CellOutcome", done: int, total: int) -> None:
+        """One cell landed (cache hit or finished run)."""
+        from repro.units import SEC
+
+        state = "cached" if outcome.cached else "ran"
+        wall = outcome.wall_usec / SEC
+        name = outcome.cell.experiment
+        if self.label:
+            name = f"{self.label}:{name}"
+        self.logger.info(
+            "[%d/%d] %-32s %6s %8.2fs", done, total, name, state, wall
+        )
+
+
+def metrics_table(counts: Mapping[str, float], title: str = "metrics") -> str:
+    """Render a flat counter map as the campaign-end summary table."""
+    from repro.core.report import format_table
+
+    rows = []
+    for name in sorted(counts):
+        value = counts[name]
+        shown = f"{value:.0f}" if float(value).is_integer() else f"{value:.2f}"
+        rows.append((name, shown))
+    return f"{title}\n{format_table(('metric', 'value'), rows)}"
+
+
+__all__ = [
+    "LOGGER_NAME",
+    "ProgressReporter",
+    "configure_logging",
+    "get_logger",
+    "metrics_table",
+]

@@ -1,0 +1,232 @@
+"""Span tracing with Chrome trace-event JSON export.
+
+A :class:`Tracer` records :class:`Span` objects — named wall-clock
+intervals with nesting — around the campaign's structural boundaries:
+campaign → prepare/enforce → cell → run.  The export format is the
+Chrome trace-event JSON (``{"traceEvents": [...]}`` of ``"ph": "X"``
+complete events), which loads directly in ``chrome://tracing`` and
+Perfetto; each worker process appears as its own thread lane, making the
+parallel executor's worker occupancy visible on a timeline.
+
+Spans in worker processes cannot write into the parent's tracer, so a
+worker records into its own tracer and the finished spans travel back in
+the cell result; :meth:`Tracer.absorb` re-bases them onto the parent
+timeline (same host, same wall clock — the re-base re-tags the process
+lane and the export normalises all timestamps against the parent's
+origin).
+
+Like the metrics registry, tracing is off unless a tracer is
+:func:`install`-ed; the module-level :func:`span` helper then degrades
+to a shared no-op context manager, so a disabled trace point costs one
+``is None`` check at run/cell granularity.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from contextlib import contextmanager, nullcontext
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable
+
+
+@dataclass
+class Span:
+    """One named wall-clock interval (a Chrome "complete" event)."""
+
+    name: str
+    cat: str
+    start_usec: float
+    dur_usec: float
+    pid: int
+    tid: int
+    args: dict = field(default_factory=dict)
+    depth: int = 0
+
+    def to_payload(self) -> tuple:
+        """Picklable/JSON-able tuple form for crossing process boundaries."""
+        return (
+            self.name,
+            self.cat,
+            self.start_usec,
+            self.dur_usec,
+            self.pid,
+            self.tid,
+            self.args,
+            self.depth,
+        )
+
+    @staticmethod
+    def from_payload(payload: Iterable) -> "Span":
+        """Inverse of :meth:`to_payload`."""
+        name, cat, start, dur, pid, tid, args, depth = payload
+        return Span(
+            name=name,
+            cat=cat,
+            start_usec=start,
+            dur_usec=dur,
+            pid=pid,
+            tid=tid,
+            args=dict(args),
+            depth=depth,
+        )
+
+    def to_event(self, origin_usec: float) -> dict:
+        """The Chrome trace event, with timestamps relative to ``origin_usec``."""
+        return {
+            "name": self.name,
+            "cat": self.cat or "repro",
+            "ph": "X",
+            "ts": self.start_usec - origin_usec,
+            "dur": self.dur_usec,
+            "pid": self.pid,
+            "tid": self.tid,
+            "args": self.args,
+        }
+
+
+class Tracer:
+    """Records spans on one process's timeline.
+
+    ``pid``/``tid`` default to the OS process id; worker tracers keep
+    their own pid as ``tid`` so each worker gets a distinct lane after
+    the parent absorbs their spans.
+    """
+
+    def __init__(self, pid: int | None = None, tid: int | None = None) -> None:
+        own = os.getpid()
+        self.pid = own if pid is None else pid
+        self.tid = own if tid is None else tid
+        self.origin_usec = time.time() * 1e6
+        self.spans: list[Span] = []
+        self._depth = 0
+
+    @contextmanager
+    def span(self, name: str, cat: str = "", **args):
+        """Record a span around the ``with`` block (exceptions included)."""
+        start = time.time() * 1e6
+        self._depth += 1
+        try:
+            yield
+        finally:
+            self._depth -= 1
+            self.spans.append(
+                Span(
+                    name=name,
+                    cat=cat,
+                    start_usec=start,
+                    dur_usec=time.time() * 1e6 - start,
+                    pid=self.pid,
+                    tid=self.tid,
+                    args={key: value for key, value in args.items()},
+                    depth=self._depth,
+                )
+            )
+
+    def absorb(self, payloads: Iterable) -> None:
+        """Re-base worker spans (see :meth:`Span.to_payload`) onto this
+        tracer's timeline: the spans join the parent's process group but
+        keep their worker id as the thread lane."""
+        for payload in payloads:
+            span = Span.from_payload(payload)
+            span.pid = self.pid
+            self.spans.append(span)
+
+    def to_chrome(self) -> dict:
+        """The Chrome trace-event document for every recorded span."""
+        origin = self.origin_usec
+        if self.spans:
+            origin = min(origin, min(span.start_usec for span in self.spans))
+        events = []
+        for tid in sorted({span.tid for span in self.spans}):
+            label = "main" if tid == self.pid else f"worker-{tid}"
+            events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": self.pid,
+                    "tid": tid,
+                    "args": {"name": label},
+                }
+            )
+        events.extend(span.to_event(origin) for span in self.spans)
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    def write(self, path: str | Path) -> Path:
+        """Write the Chrome trace JSON to ``path``."""
+        path = Path(path)
+        path.write_text(json.dumps(self.to_chrome(), indent=1))
+        return path
+
+
+# ----------------------------------------------------------------------
+# the process-global tracer (None = tracing off)
+# ----------------------------------------------------------------------
+
+_current: Tracer | None = None
+
+#: shared reentrant no-op for disabled trace points
+_NULL = nullcontext()
+
+
+def install(tracer: Tracer | None = None) -> Tracer:
+    """Make ``tracer`` (or a fresh one) the process default."""
+    global _current
+    _current = tracer if tracer is not None else Tracer()
+    return _current
+
+
+def uninstall() -> Tracer | None:
+    """Disable tracing; returns the tracer that was active."""
+    global _current
+    tracer, _current = _current, None
+    return tracer
+
+
+def current() -> Tracer | None:
+    """The active tracer, or ``None`` when tracing is disabled."""
+    return _current
+
+
+class installed:
+    """Context manager installing ``tracer`` for the block's duration.
+
+    ``tracer=None`` explicitly disables tracing inside the block (worker
+    processes shadow a tracer inherited through ``fork`` this way).  The
+    previous tracer is restored on exit.
+    """
+
+    def __init__(self, tracer: Tracer | None) -> None:
+        self.tracer = tracer
+        self._previous: Tracer | None = None
+
+    def __enter__(self) -> Tracer | None:
+        global _current
+        self._previous = _current
+        _current = self.tracer
+        return self.tracer
+
+    def __exit__(self, *exc_info) -> None:
+        global _current
+        _current = self._previous
+
+
+def span(name: str, cat: str = "", **args):
+    """A span on the active tracer, or a shared no-op when disabled."""
+    tracer = _current
+    if tracer is None:
+        return _NULL
+    return tracer.span(name, cat=cat, **args)
+
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "current",
+    "install",
+    "installed",
+    "span",
+    "uninstall",
+]

@@ -55,6 +55,16 @@ def test_csv_preserves_notes():
     assert "switch-merge" in rows[0].notes
 
 
+def test_csv_round_trips_multiple_notes_as_tuple():
+    trace = run_some_ios(3)
+    trace[0].cost.note("switch-merge")
+    trace[0].cost.note("gc")
+    rows = IOTrace.parse_csv(trace.to_csv())
+    assert rows[0].notes == ("switch-merge", "gc")
+    empty = [row.notes for row in rows if not row.notes]
+    assert empty and all(notes == () for notes in empty)
+
+
 def test_extend():
     trace = run_some_ios(2)
     other = IOTrace()

@@ -1,0 +1,103 @@
+"""Campaign-level observability: metrics and spans through the executor."""
+
+import os
+
+from repro.core.executor import (
+    CampaignExecutor,
+    merge_outcome_metrics,
+    plan_cells,
+)
+from repro.obs import metrics as obs_metrics
+from repro.obs import tracing as obs_tracing
+from repro.units import KIB, MIB, SEC
+
+PROFILE = "kingston_dti"
+CAPACITY = 4 * MIB
+
+
+def order_cells():
+    return plan_cells(
+        PROFILE,
+        CAPACITY,
+        ["order"],
+        io_size=32 * KIB,
+        io_count=8,
+        pause_usec=0.1 * SEC,
+    )
+
+
+def test_disabled_observability_leaves_outcomes_bare(tmp_path):
+    outcomes = CampaignExecutor(jobs=1).execute(order_cells())
+    assert all(outcome.metrics is None for outcome in outcomes)
+    assert merge_outcome_metrics(outcomes) == {}
+
+
+def test_executed_cells_carry_device_metric_deltas():
+    with obs_metrics.installed(obs_metrics.MetricsRegistry()) as registry:
+        outcomes = CampaignExecutor(jobs=1).execute(order_cells())
+        snapshot = registry.snapshot()
+    assert all(outcome.metrics is not None for outcome in outcomes)
+    merged = merge_outcome_metrics(outcomes)
+    assert merged["chip.page_programs"] > 0
+    assert merged["device.writes"] > 0
+    assert snapshot.counters["core.executor.cells_executed"] == len(outcomes)
+    assert snapshot.counters["core.executor.cells_total"] == len(outcomes)
+    assert snapshot.counters["core.engine.runs"] > 0
+    wall = snapshot.histograms["core.executor.cell_wall_usec"]
+    assert wall.count == len(outcomes)
+
+
+def test_cache_hit_metrics_match_cached_outcomes(tmp_path):
+    cells = order_cells()
+    with obs_metrics.installed(obs_metrics.MetricsRegistry()):
+        first = CampaignExecutor(jobs=1, cache=tmp_path / "cache").execute(cells)
+    with obs_metrics.installed(obs_metrics.MetricsRegistry()) as registry:
+        executor = CampaignExecutor(jobs=1, cache=tmp_path / "cache")
+        second = executor.execute(cells)
+        snapshot = registry.snapshot()
+    cached = sum(1 for outcome in second if outcome.cached)
+    assert cached == len(cells)
+    assert snapshot.counters["core.executor.cells_cached"] == cached
+    assert executor.cache.hits == cached
+    assert executor.cache.bytes_saved == sum(
+        cell.io_count * cell.io_size * max(1, cell.repetitions) for cell in cells
+    )
+    # cache entries preserve the metrics recorded when the cell ran
+    assert merge_outcome_metrics(second) == merge_outcome_metrics(first)
+
+
+def test_parallel_with_observability_matches_sequential():
+    cells = order_cells()
+    sequential = CampaignExecutor(jobs=1).execute(cells)
+    with obs_metrics.installed(obs_metrics.MetricsRegistry()) as registry:
+        with obs_tracing.installed(obs_tracing.Tracer()):
+            parallel = CampaignExecutor(jobs=2).execute(cells)
+        snapshot = registry.snapshot()
+    assert [outcome.payload for outcome in parallel] == [
+        outcome.payload for outcome in sequential
+    ]
+    assert snapshot.counters["core.executor.cells_executed"] == len(cells)
+    assert merge_outcome_metrics(parallel)["chip.page_programs"] > 0
+
+
+def test_parallel_spans_land_in_worker_lanes():
+    tracer = obs_tracing.Tracer()
+    with obs_tracing.installed(tracer):
+        CampaignExecutor(jobs=2).execute(order_cells())
+    names = {span.name for span in tracer.spans}
+    assert {"campaign", "prepare", "cell", "run"} <= names
+    own = os.getpid()
+    cell_tids = {span.tid for span in tracer.spans if span.name == "cell"}
+    assert cell_tids and own not in cell_tids  # cells ran in worker lanes
+    assert all(span.pid == own for span in tracer.spans)
+
+
+def test_sequential_spans_nest_on_main_lane():
+    tracer = obs_tracing.Tracer()
+    with obs_tracing.installed(tracer):
+        CampaignExecutor(jobs=1).execute(order_cells())
+    campaign = [span for span in tracer.spans if span.name == "campaign"]
+    cells = [span for span in tracer.spans if span.name == "cell"]
+    assert len(campaign) == 1 and campaign[0].depth == 0
+    assert cells and all(span.depth > 0 for span in cells)
+    assert {span.tid for span in tracer.spans} == {os.getpid()}

@@ -1,0 +1,203 @@
+"""Metrics: instrument semantics, snapshot delta/merge, pickling."""
+
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    HistogramState,
+    MetricsRegistry,
+    MetricsSnapshot,
+    current,
+    diff_counts,
+    install,
+    installed,
+    merge_counts,
+    uninstall,
+)
+
+
+def test_counter_increments():
+    counter = Counter()
+    counter.inc()
+    counter.inc(2.5)
+    assert counter.value == 3.5
+
+
+def test_counter_rejects_negative():
+    with pytest.raises(ValueError):
+        Counter().inc(-1)
+
+
+def test_gauge_goes_up_and_down():
+    gauge = Gauge()
+    gauge.set(7)
+    gauge.set(3)
+    assert gauge.value == 3.0
+
+
+def test_histogram_buckets_are_non_cumulative():
+    histogram = Histogram(bounds=(10.0, 100.0))
+    for value in (5, 50, 50, 500):
+        histogram.observe(value)
+    assert histogram.counts == [1, 2, 1]  # (..10], (10..100], overflow
+    assert histogram.count == 4
+    assert histogram.total == 605.0
+    assert histogram.mean == pytest.approx(151.25)
+
+
+def test_histogram_boundary_value_lands_in_lower_bucket():
+    histogram = Histogram(bounds=(10.0, 100.0))
+    histogram.observe(10.0)
+    assert histogram.counts == [1, 0, 0]
+
+
+def test_histogram_needs_bounds():
+    with pytest.raises(ValueError):
+        Histogram(bounds=())
+
+
+def test_histogram_state_delta_and_merge():
+    histogram = Histogram(bounds=(10.0,))
+    histogram.observe(5)
+    earlier = histogram.state()
+    histogram.observe(50)
+    later = histogram.state()
+    delta = later.delta(earlier)
+    assert delta.counts == (0, 1)
+    assert delta.count == 1
+    assert delta.total == 50.0
+    merged = earlier.merge(delta)
+    assert merged.counts == later.counts
+    assert merged.count == later.count
+
+
+def test_histogram_state_rejects_mismatched_bounds():
+    a = Histogram(bounds=(10.0,)).state()
+    b = Histogram(bounds=(20.0,)).state()
+    with pytest.raises(ValueError):
+        a.delta(b)
+    with pytest.raises(ValueError):
+        a.merge(b)
+
+
+def test_registry_returns_same_instrument():
+    registry = MetricsRegistry()
+    assert registry.counter("a") is registry.counter("a")
+    assert registry.gauge("g") is registry.gauge("g")
+    assert registry.histogram("h") is registry.histogram("h")
+
+
+def test_snapshot_delta_counters_subtract_gauges_keep_later():
+    registry = MetricsRegistry()
+    registry.counter("c").inc(2)
+    registry.gauge("g").set(5)
+    earlier = registry.snapshot()
+    registry.counter("c").inc(3)
+    registry.gauge("g").set(1)
+    delta = registry.snapshot().delta(earlier)
+    assert delta.counters["c"] == 3.0
+    assert delta.gauges["g"] == 1.0
+
+
+def test_snapshot_merge_counters_add_gauges_max():
+    a = MetricsSnapshot(counters={"c": 2.0}, gauges={"g": 5.0})
+    b = MetricsSnapshot(counters={"c": 3.0, "d": 1.0}, gauges={"g": 1.0})
+    merged = a.merge(b)
+    assert merged.counters == {"c": 5.0, "d": 1.0}
+    assert merged.gauges == {"g": 5.0}
+
+
+def test_snapshot_merge_histograms_add():
+    left = Histogram(bounds=(10.0,))
+    left.observe(5)
+    right = Histogram(bounds=(10.0,))
+    right.observe(50)
+    merged = MetricsSnapshot(histograms={"h": left.state()}).merge(
+        MetricsSnapshot(histograms={"h": right.state()})
+    )
+    assert merged.histograms["h"].counts == (1, 1)
+    assert merged.histograms["h"].count == 2
+
+
+def test_snapshot_dict_round_trip():
+    registry = MetricsRegistry()
+    registry.counter("c").inc(4)
+    registry.gauge("g").set(2)
+    registry.histogram("h", bounds=(10.0,)).observe(3)
+    snapshot = registry.snapshot()
+    restored = MetricsSnapshot.from_dict(snapshot.to_dict())
+    assert restored == snapshot
+
+
+def test_snapshot_pickles():
+    registry = MetricsRegistry()
+    registry.counter("c").inc(4)
+    registry.histogram("h").observe(123.0)
+    snapshot = registry.snapshot()
+    assert pickle.loads(pickle.dumps(snapshot)) == snapshot
+
+
+def _child_snapshot(amount):
+    """Worker-side helper: build a registry and ship its snapshot home."""
+    registry = MetricsRegistry()
+    registry.counter("child.work").inc(amount)
+    return registry.snapshot()
+
+
+def test_snapshot_crosses_process_boundary():
+    with ProcessPoolExecutor(max_workers=1) as pool:
+        snapshot = pool.submit(_child_snapshot, 7).result()
+    parent = MetricsRegistry()
+    parent.counter("child.work").inc(1)
+    parent.absorb(snapshot)
+    assert parent.counter("child.work").value == 8.0
+
+
+def test_absorb_folds_every_instrument():
+    source = MetricsRegistry()
+    source.counter("c").inc(2)
+    source.gauge("g").set(9)
+    source.histogram("h", bounds=(10.0,)).observe(5)
+    target = MetricsRegistry()
+    target.gauge("g").set(3)
+    target.absorb(source.snapshot())
+    assert target.counter("c").value == 2.0
+    assert target.gauge("g").value == 9.0
+    assert target.histogram("h", bounds=(10.0,)).counts == [1, 0]
+
+
+def test_install_uninstall_current():
+    assert current() is None
+    registry = install()
+    try:
+        assert current() is registry
+    finally:
+        assert uninstall() is registry
+    assert current() is None
+
+
+def test_installed_none_shadows_active_registry():
+    outer = install()
+    try:
+        with installed(None):
+            assert current() is None
+        assert current() is outer
+    finally:
+        uninstall()
+
+
+def test_diff_counts_drops_unchanged_names():
+    delta = diff_counts({"a": 5.0, "b": 2.0, "new": 1.0}, {"a": 5.0, "b": 1.0})
+    assert delta == {"b": 1.0, "new": 1.0}
+
+
+def test_merge_counts_skips_none():
+    assert merge_counts({"a": 1.0}, None, {"a": 2.0, "b": 3.0}) == {
+        "a": 3.0,
+        "b": 3.0,
+    }

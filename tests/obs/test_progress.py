@@ -1,0 +1,88 @@
+"""Progress reporting: logging configuration and the per-cell line."""
+
+import io
+import logging
+
+from repro.obs.progress import (
+    LOGGER_NAME,
+    ProgressReporter,
+    configure_logging,
+    get_logger,
+    metrics_table,
+)
+
+
+def _flagged_handlers(logger):
+    return [
+        handler
+        for handler in logger.handlers
+        if getattr(handler, "_repro_progress_handler", False)
+    ]
+
+
+def teardown_function(function):
+    logger = logging.getLogger(LOGGER_NAME)
+    for handler in _flagged_handlers(logger):
+        logger.removeHandler(handler)
+
+
+def test_verbosity_maps_to_levels():
+    assert configure_logging(2).level == logging.DEBUG
+    assert configure_logging(1).level == logging.DEBUG
+    assert configure_logging(0).level == logging.INFO
+    assert configure_logging(-1).level == logging.WARNING
+    assert configure_logging(-2).level == logging.ERROR
+
+
+def test_reconfiguring_replaces_only_our_handler():
+    foreign = logging.NullHandler()
+    logger = logging.getLogger(LOGGER_NAME)
+    logger.addHandler(foreign)
+    try:
+        configure_logging(0)
+        configure_logging(1)
+        assert len(_flagged_handlers(logger)) == 1
+        assert foreign in logger.handlers
+    finally:
+        logger.removeHandler(foreign)
+
+
+def test_reporter_logs_cell_line():
+    from repro.core.executor import CampaignCell, CellOutcome
+    from repro.units import SEC
+
+    stream = io.StringIO()
+    configure_logging(0, stream=stream)
+    cell = CampaignCell(
+        profile="p", capacity=None, benchmark="b", experiment="exp.one",
+        io_size=1, io_count=1,
+    )
+    reporter = ProgressReporter(total=2, label="dev")
+    reporter.status("warming up")
+    reporter.cell_done(
+        CellOutcome(cell=cell, payload={}, cached=True), done=1, total=2
+    )
+    reporter.cell_done(
+        CellOutcome(cell=cell, payload={}, wall_usec=1.5 * SEC), done=2, total=2
+    )
+    lines = stream.getvalue().splitlines()
+    assert lines[0] == "warming up"
+    assert lines[1].startswith("[1/2] dev:exp.one")
+    assert "cached" in lines[1]
+    assert "[2/2]" in lines[2] and "ran" in lines[2] and "1.50s" in lines[2]
+
+
+def test_quiet_suppresses_progress():
+    stream = io.StringIO()
+    configure_logging(-1, stream=stream)
+    ProgressReporter(total=1).status("should not appear")
+    get_logger().warning("should appear")
+    assert stream.getvalue() == "should appear\n"
+
+
+def test_metrics_table_formats_ints_and_floats():
+    table = metrics_table({"chip.page_reads": 4.0, "device.wait": 1.234}, title="t")
+    assert table.startswith("t\n")
+    assert "chip.page_reads" in table
+    assert " 4" in table
+    assert "1.23" in table

@@ -1,0 +1,122 @@
+"""Tracing: span nesting, process re-basing, Chrome trace export."""
+
+import json
+
+import pytest
+
+from repro.obs import tracing
+from repro.obs.tracing import Span, Tracer
+
+
+def test_spans_record_nesting_depth():
+    tracer = Tracer()
+    with tracer.span("outer", cat="test"):
+        with tracer.span("inner", cat="test"):
+            pass
+    # spans append on exit, so the inner one lands first
+    inner, outer = tracer.spans
+    assert (inner.name, inner.depth) == ("inner", 1)
+    assert (outer.name, outer.depth) == ("outer", 0)
+    assert outer.dur_usec >= inner.dur_usec
+
+
+def test_span_records_on_exception():
+    tracer = Tracer()
+    with pytest.raises(RuntimeError):
+        with tracer.span("doomed"):
+            raise RuntimeError("boom")
+    assert [span.name for span in tracer.spans] == ["doomed"]
+
+
+def test_span_keeps_attribute_args():
+    tracer = Tracer()
+    with tracer.span("run", cat="engine", label="SR", value=4):
+        pass
+    assert tracer.spans[0].args == {"label": "SR", "value": 4}
+
+
+def test_span_payload_round_trip():
+    span = Span(
+        name="cell",
+        cat="executor",
+        start_usec=100.0,
+        dur_usec=50.0,
+        pid=1,
+        tid=2,
+        args={"profile": "x"},
+        depth=1,
+    )
+    assert Span.from_payload(span.to_payload()) == span
+
+
+def test_absorb_rebases_pid_and_keeps_worker_tid():
+    parent = Tracer(pid=100, tid=100)
+    worker = Tracer(pid=200, tid=200)
+    with worker.span("cell"):
+        pass
+    parent.absorb([span.to_payload() for span in worker.spans])
+    absorbed = parent.spans[0]
+    assert absorbed.pid == 100
+    assert absorbed.tid == 200
+
+
+def test_chrome_export_schema():
+    parent = Tracer(pid=1, tid=1)
+    with parent.span("campaign", cat="executor"):
+        pass
+    worker = Tracer(pid=2, tid=2)
+    with worker.span("cell"):
+        pass
+    parent.absorb([span.to_payload() for span in worker.spans])
+    document = parent.to_chrome()
+    assert set(document) == {"traceEvents", "displayTimeUnit"}
+    events = document["traceEvents"]
+    metadata = [event for event in events if event["ph"] == "M"]
+    lanes = {event["args"]["name"] for event in metadata}
+    assert lanes == {"main", "worker-2"}
+    complete = [event for event in events if event["ph"] == "X"]
+    assert {event["name"] for event in complete} == {"campaign", "cell"}
+    for event in complete:
+        assert event["ts"] >= 0
+        assert event["dur"] >= 0
+        assert event["pid"] == 1
+    json.dumps(document)  # must be JSON-serialisable as-is
+
+
+def test_write_emits_loadable_json(tmp_path):
+    tracer = Tracer()
+    with tracer.span("campaign"):
+        pass
+    path = tracer.write(tmp_path / "trace.json")
+    document = json.loads(path.read_text())
+    assert any(event["ph"] == "X" for event in document["traceEvents"])
+
+
+def test_module_span_is_noop_when_disabled():
+    assert tracing.current() is None
+    assert tracing.span("anything") is tracing._NULL
+    with tracing.span("anything", cat="x", detail=1):
+        pass  # the shared nullcontext must be reusable
+
+
+def test_module_span_records_when_installed():
+    tracer = tracing.install()
+    try:
+        with tracing.span("run", cat="engine"):
+            pass
+        assert [span.name for span in tracer.spans] == ["run"]
+    finally:
+        tracing.uninstall()
+
+
+def test_installed_none_shadows_active_tracer():
+    outer = tracing.install()
+    try:
+        with tracing.installed(None):
+            assert tracing.current() is None
+            with tracing.span("lost"):
+                pass
+        assert tracing.current() is outer
+        assert outer.spans == []
+    finally:
+        tracing.uninstall()
