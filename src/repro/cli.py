@@ -308,6 +308,26 @@ def _cmd_lifetime(args: argparse.Namespace) -> int:
 
 
 def _cmd_campaign(args: argparse.Namespace) -> int:
+    if args.profile is None:
+        return _run_campaign(args)
+    # Profile the whole campaign (planning, enforcement, execution,
+    # archiving).  With --jobs > 1 only the parent process is profiled;
+    # use --jobs 1 to see the simulator hot path itself.
+    import cProfile
+    import pstats
+
+    profiler = cProfile.Profile()
+    try:
+        return profiler.runcall(_run_campaign, args)
+    finally:
+        stats = pstats.Stats(profiler)
+        stats.sort_stats("cumulative").print_stats(20)
+        if args.profile:
+            profiler.dump_stats(args.profile)
+            print(f"profile stats written to {args.profile}")
+
+
+def _run_campaign(args: argparse.Namespace) -> int:
     from pathlib import Path
 
     from repro.core import (
@@ -577,6 +597,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace", default="",
         help="record campaign/cell/run spans and write Chrome trace-event "
              "JSON to this path (load in Perfetto or chrome://tracing)",
+    )
+    campaign_parser.add_argument(
+        "--profile", nargs="?", const="", default=None, metavar="STATS",
+        help="run under cProfile and print the top 20 functions by "
+             "cumulative time; with a path, also dump pstats data there "
+             "(inspect with 'python -m pstats STATS')",
     )
     campaign_parser.set_defaults(func=_cmd_campaign)
 

@@ -15,6 +15,7 @@ from repro.flashsim.chip import ERASED, FlashChip
 from repro.flashsim.clock import SimClock
 from repro.flashsim.controller import Controller, ControllerConfig
 from repro.flashsim.device import BackgroundPolicy, DeviceStats, FlashDevice, NoiseSpec
+from repro.flashsim.ftl.base import BaseFTL
 from repro.flashsim.snapshot import DeviceSnapshot
 from repro.flashsim.geometry import Geometry
 from repro.flashsim.power import (
@@ -46,6 +47,7 @@ from repro.flashsim.wear import (
 __all__ = [
     "ALL_PROFILES",
     "BackgroundPolicy",
+    "BaseFTL",
     "Controller",
     "ControllerConfig",
     "CostAccumulator",

@@ -159,6 +159,92 @@ class FlashChip:
         self._write_point[block] = write_point + 1
         self.stats.page_programs += 1
 
+    # ------------------------------------------------------------------
+    # run (batch) operations — the vectorized hot path
+    # ------------------------------------------------------------------
+
+    def read_run(self, block: int, start: int, n: int) -> np.ndarray:
+        """Read ``n`` consecutive pages of ``block`` starting at ``start``.
+
+        One bounds/bad-block check for the whole run; returns a copy of
+        the token slice (ERASED entries for never-programmed pages).
+        Counts ``n`` page reads, exactly like ``n`` scalar :meth:`read`
+        calls.
+        """
+        if n < 0:
+            raise ProgramError(f"run length must be >= 0, got {n}")
+        if n == 0:
+            self._check_block(block)
+            return np.empty(0, dtype=np.int64)
+        self._check_page(block, start)
+        self._check_page(block, start + n - 1)
+        if self._bad[block]:
+            raise BadBlockError(f"read from bad block {block}")
+        self.stats.page_reads += n
+        base = self._page_index(block, start)
+        return self._tokens[base : base + n].copy()
+
+    def read_many(self, ppages: np.ndarray) -> np.ndarray:
+        """Gather-read arbitrary physical pages (one check per batch).
+
+        ``ppages`` are global physical page indexes.  Equivalent to one
+        scalar :meth:`read` per page: the same tokens come back and the
+        same number of page reads is counted.
+        """
+        ppages = np.asarray(ppages, dtype=np.int64)
+        if ppages.size == 0:
+            return np.empty(0, dtype=np.int64)
+        if int(ppages.min()) < 0 or int(ppages.max()) >= self.geometry.physical_pages:
+            raise ProgramError("physical page index out of range in read_many")
+        blocks = ppages // self.geometry.pages_per_block
+        if self._bad[blocks].any():
+            bad = int(blocks[self._bad[blocks]][0])
+            raise BadBlockError(f"read from bad block {bad}")
+        self.stats.page_reads += int(ppages.size)
+        return self._tokens[ppages]
+
+    def program_run(self, block: int, start: int, tokens: np.ndarray) -> None:
+        """Program consecutive pages of ``block`` with a token array.
+
+        Enforces the same NAND constraints as scalar :meth:`program`
+        (erased pages, strictly sequential program order) with one check
+        per run.  Under a fault injector the run decays to scalar
+        programs so injected failures keep their exact semantics.
+        """
+        tokens = np.asarray(tokens, dtype=np.int64)
+        n = int(tokens.size)
+        if n == 0:
+            self._check_block(block)
+            return
+        if self.fault_injector is not None:
+            for i in range(n):
+                self.program(block, start + i, int(tokens[i]))
+            return
+        if not 0 <= block < self.geometry.physical_blocks:
+            raise EraseError(
+                f"block {block} out of range 0..{self.geometry.physical_blocks - 1}"
+            )
+        if start < 0 or start + n > self.geometry.pages_per_block:
+            raise ProgramError(
+                f"run [{start}, +{n}) exceeds block {block}'s "
+                f"{self.geometry.pages_per_block} pages"
+            )
+        if self._bad[block]:
+            raise BadBlockError(f"program to bad block {block}")
+        # token validity (>= 0) is the caller's contract: every FTL run
+        # entry point validates its token array once before programming
+        write_point = int(self._write_point[block])
+        if start != write_point:
+            raise ProgramError(
+                f"out-of-order program in block {block}: run starts at {start} "
+                f"while write point is {write_point} "
+                "(NAND pages must be programmed sequentially within a block)"
+            )
+        base = block * self.geometry.pages_per_block + start
+        self._tokens[base : base + n] = tokens
+        self._write_point[block] = write_point + n
+        self.stats.page_programs += n
+
     def erase(self, block: int) -> None:
         """Erase a whole block, resetting all its pages to ERASED."""
         self._check_block(block)

@@ -25,21 +25,67 @@ from __future__ import annotations
 
 import copy
 from abc import ABC, abstractmethod
+from collections import OrderedDict, deque
 from typing import Sequence
+
+import numpy as np
 
 from repro.errors import AddressError, FTLError
 from repro.flashsim.chip import ERASED, FlashChip
 from repro.flashsim.geometry import Geometry
 from repro.flashsim.timing import CostAccumulator
 
+#: immutable leaf types the snapshot fast copy passes through unchanged
+_SCALAR_TYPES = (int, float, complex, bool, str, bytes, frozenset, type(None))
+
+
+def _copy_value(value, memo: dict):
+    """Type-aware fast copy of one snapshot value.
+
+    ndarrays copy in C, containers of scalars rebuild shallowly, and
+    anything holding real objects falls back to :func:`copy.deepcopy`
+    *with a shared memo*, so identity sharing between attributes (e.g.
+    the hybrid FTL's pending-merge deque and its by-logical-block index
+    holding the same ``_LogBlock`` objects) survives the copy.
+    """
+    if isinstance(value, np.ndarray):
+        return value.copy()
+    if isinstance(value, _SCALAR_TYPES):
+        return value
+    if isinstance(value, (deque, list, tuple, set)):
+        if all(isinstance(item, _SCALAR_TYPES) for item in value):
+            return type(value)(value)
+        return copy.deepcopy(value, memo)
+    if isinstance(value, (dict, OrderedDict)):
+        if all(isinstance(item, _SCALAR_TYPES) for item in value.values()):
+            return type(value)(value)
+        return copy.deepcopy(value, memo)
+    return copy.deepcopy(value, memo)
+
+
+def _copy_state(state: dict) -> dict:
+    """Fast copy of a whole snapshot dict (one shared deepcopy memo)."""
+    memo: dict = {}
+    return {name: _copy_value(value, memo) for name, value in state.items()}
+
 
 class BaseFTL(ABC):
-    """Abstract flash translation layer.
+    """Abstract flash translation layer: scalar page operations
+    (``read_page`` / ``write_page``), the vectorized batch contract
+    (``read_pages`` / ``write_run``, behaviourally identical to the
+    scalar loops) and the snapshot/restore protocol.
 
     Subclasses implement the two data-path operations plus the optional
     background-reclamation hooks used to reproduce the paper's Pause,
     Burst and interference effects (Sections 4.3, 5.2).
     """
+
+    #: Subclasses that override :meth:`read_pages` / :meth:`write_run`
+    #: with real array implementations set these; the controller only
+    #: builds batch arrays for capable FTLs (for the rest, the default
+    #: delegation would just add overhead on top of the scalar loop).
+    batch_read_capable = False
+    batch_write_capable = False
 
     #: Names of the mutable attributes that make up a subclass's state.
     #: ``snapshot``/``restore`` deep-copy them *together* in one pass,
@@ -52,6 +98,10 @@ class BaseFTL(ABC):
     def __init__(self, geometry: Geometry, chip: FlashChip) -> None:
         self.geometry = geometry
         self.chip = chip
+        #: when False, batch-capable subclasses route ``read_pages`` /
+        #: ``write_run`` through the scalar per-page reference path —
+        #: the behavioural contract the equivalence suite pins.
+        self.batch_enabled = True
 
     # ------------------------------------------------------------------
     # data path
@@ -73,6 +123,26 @@ class BaseFTL(ABC):
         recorded in ``cost``.
         """
 
+    def read_pages(
+        self,
+        lpages: np.ndarray,
+        cost: CostAccumulator,
+        *,
+        ascending: bool = False,
+    ) -> np.ndarray:
+        """Read a batch of logical pages, returning their tokens.
+
+        The vectorized counterpart of :meth:`read_page`: same tokens,
+        same recorded cost.  Default: page-by-page reference loop;
+        batch-capable FTLs override it with array operations.
+        ``ascending`` promises strictly increasing lpages (bounds checks
+        then only need the endpoints).
+        """
+        out = np.empty(len(lpages), dtype=np.int64)
+        for i, lpage in enumerate(lpages):
+            out[i] = self.read_page(int(lpage), cost)
+        return out
+
     def write_pages(
         self, items: "Sequence[tuple[int, int]]", cost: CostAccumulator
     ) -> None:
@@ -85,6 +155,28 @@ class BaseFTL(ABC):
         """
         for lpage, token in items:
             self.write_page(lpage, token, cost)
+
+    def write_run(
+        self,
+        lpages: np.ndarray,
+        tokens: np.ndarray,
+        cost: CostAccumulator,
+        *,
+        ascending: bool = False,
+    ) -> None:
+        """Vectorized :meth:`write_pages` contract: parallel arrays.
+
+        Must be behaviourally identical to the pair-list form — the
+        default materialises the pairs and delegates, so FTLs that
+        classify runs (hybrid) or batch internally (page map) both see
+        their usual entry point.  ``ascending`` promises the caller's
+        lpages are strictly increasing and its tokens non-negative (the
+        controller's always are), letting implementations skip
+        distinctness/bounds/validity scans.
+        """
+        self.write_pages(
+            list(zip((int(p) for p in lpages), (int(t) for t in tokens))), cost
+        )
 
     def note_io_boundary(self, end_byte: int, cost: CostAccumulator) -> None:
         """Hook called by the controller after each host *write* IO.
@@ -143,7 +235,7 @@ class BaseFTL(ABC):
                 f"{type(self).__name__} declares no _STATE_ATTRS; it cannot "
                 "participate in the snapshot/restore protocol"
             )
-        return copy.deepcopy(
+        return _copy_state(
             {name: getattr(self, name) for name in self._STATE_ATTRS}
         )
 
@@ -153,7 +245,7 @@ class BaseFTL(ABC):
         The state is copied again on the way in, so one snapshot can be
         restored any number of times without aliasing live structures.
         """
-        for name, value in copy.deepcopy(state).items():
+        for name, value in _copy_state(state).items():
             setattr(self, name, value)
 
     # ------------------------------------------------------------------

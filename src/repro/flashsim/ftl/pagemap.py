@@ -24,7 +24,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.errors import FTLError, OutOfSpaceError
+from repro.errors import AddressError, FTLError, OutOfSpaceError
 from repro.flashsim.chip import ERASED, FlashChip
 from repro.flashsim.ftl.base import BaseFTL
 from repro.flashsim.geometry import Geometry
@@ -70,6 +70,9 @@ class PageMapConfig:
 class PageMapFTL(BaseFTL):
     """Direct page map + append log + greedy garbage collection."""
 
+    batch_read_capable = True
+    batch_write_capable = True
+
     _STATE_ATTRS = (
         "_l2p",
         "_p2l",
@@ -105,7 +108,7 @@ class PageMapFTL(BaseFTL):
         npages = geometry.physical_pages
         self._l2p = np.full(geometry.logical_pages, -1, dtype=np.int64)
         self._p2l = np.full(npages, -1, dtype=np.int64)
-        self._valid = np.zeros(geometry.physical_blocks, dtype=np.int32)
+        self._valid = np.zeros(geometry.physical_blocks, dtype=np.int64)
         self._state = np.full(geometry.physical_blocks, _FREE, dtype=np.int8)
         self._free: deque[int] = deque(range(geometry.physical_blocks))
         self._host_active = self._allocate_active()
@@ -118,6 +121,12 @@ class PageMapFTL(BaseFTL):
         self.wear_relocations = 0
         self.gc_copy_reads = 0
         self.gc_copy_programs = 0
+        # Greedy victim selection in O(1): data blocks bucketed by valid
+        # count, with a floor pointer that only advances on pops.  Derived
+        # from (_state, _valid), so it is rebuilt on restore rather than
+        # snapshotted.
+        self._use_buckets = self.config.gc_policy == "greedy"
+        self._rebuild_buckets()
 
     # ------------------------------------------------------------------
     # allocation
@@ -134,6 +143,48 @@ class PageMapFTL(BaseFTL):
         self._state[block] = _DATA
         self._sequence += 1
         self._retired_at[block] = self._sequence
+        if self._use_buckets:
+            self._bucket_add(block)
+
+    # ------------------------------------------------------------------
+    # min-valid buckets (greedy victim selection in O(1))
+    # ------------------------------------------------------------------
+
+    def _rebuild_buckets(self) -> None:
+        """Derive the bucket structure from ``_state``/``_valid``."""
+        ppb = self.geometry.pages_per_block
+        self._bucket_of = np.full(self.geometry.physical_blocks, -1, dtype=np.int32)
+        self._buckets: list[set[int]] = [set() for _ in range(ppb + 1)]
+        self._min_bucket = ppb + 1
+        if not self._use_buckets:
+            return
+        for block in np.flatnonzero(self._state == _DATA):
+            self._bucket_add(int(block))
+
+    def _bucket_add(self, block: int) -> None:
+        valid = int(self._valid[block])
+        self._buckets[valid].add(block)
+        self._bucket_of[block] = valid
+        if valid < self._min_bucket:
+            self._min_bucket = valid
+
+    def _bucket_remove(self, block: int) -> None:
+        valid = int(self._bucket_of[block])
+        if valid >= 0:
+            self._buckets[valid].discard(block)
+            self._bucket_of[block] = -1
+
+    def _bucket_dec(self, block: int, by: int = 1) -> None:
+        """Move a bucketed data block down after invalidations."""
+        valid = int(self._bucket_of[block])
+        if valid < 0:
+            return
+        self._buckets[valid].discard(block)
+        valid -= by
+        self._buckets[valid].add(block)
+        self._bucket_of[block] = valid
+        if valid < self._min_bucket:
+            self._min_bucket = valid
 
     # ------------------------------------------------------------------
     # reads
@@ -148,6 +199,37 @@ class PageMapFTL(BaseFTL):
         cost.page_reads += 1
         block, offset = divmod(ppage, self.geometry.pages_per_block)
         return self.chip.read(block, offset)
+
+    def read_pages(
+        self,
+        lpages: np.ndarray,
+        cost: CostAccumulator,
+        *,
+        ascending: bool = False,
+    ) -> np.ndarray:
+        """See :meth:`BaseFTL.read_pages`: one fancy-indexed map lookup
+        plus one gather read for every mapped page."""
+        if not self.batch_enabled:
+            return super().read_pages(lpages, cost)
+        lpages = np.asarray(lpages, dtype=np.int64)
+        if lpages.size == 0:
+            return np.empty(0, dtype=np.int64)
+        if ascending:
+            lo, hi = int(lpages[0]), int(lpages[-1])
+        else:
+            lo, hi = int(lpages.min()), int(lpages.max())
+        if lo < 0 or hi >= self.geometry.logical_pages:
+            raise AddressError(
+                f"logical page out of range 0..{self.geometry.logical_pages - 1}"
+            )
+        ppages = self._l2p[lpages]
+        mapped = ppages >= 0
+        tokens = np.full(lpages.size, ERASED, dtype=np.int64)
+        count = int(mapped.sum())
+        if count:
+            tokens[mapped] = self.chip.read_many(ppages[mapped])
+            cost.page_reads += count
+        return tokens
 
     # ------------------------------------------------------------------
     # writes
@@ -169,12 +251,161 @@ class PageMapFTL(BaseFTL):
         if self.config.wear_threshold:
             self._maybe_wear_level(cost)
 
+    def write_pages(self, items, cost: CostAccumulator) -> None:
+        """Route batches (host IOs, cache destage groups) through the
+        vectorized run kernel."""
+        if not items:
+            return
+        lpages = np.fromiter((pair[0] for pair in items), dtype=np.int64, count=len(items))
+        tokens = np.fromiter((pair[1] for pair in items), dtype=np.int64, count=len(items))
+        self.write_run(lpages, tokens, cost)
+
+    def write_run(
+        self,
+        lpages: np.ndarray,
+        tokens: np.ndarray,
+        cost: CostAccumulator,
+        *,
+        ascending: bool = False,
+    ) -> None:
+        """Vectorized write path: invalidate with fancy indexing, append
+        whole runs into the host active block.
+
+        Behaviourally identical to the scalar :meth:`write_page` loop:
+        a run is split into chunks within which the scalar path's
+        per-page GC and wear-levelling checks are provably no-ops (the
+        free pool and erase counters cannot change during a pure
+        append), and decays to single scalar writes at the points where
+        GC or wear levelling would actually fire.
+        """
+        if not self.batch_enabled:
+            for lpage, token in zip(lpages, tokens):
+                self.write_page(int(lpage), int(token), cost)
+            return
+        lpages = np.asarray(lpages, dtype=np.int64)
+        tokens = np.asarray(tokens, dtype=np.int64)
+        n = int(lpages.size)
+        if n == 0:
+            return
+        # Controller runs are strictly ascending, which gives distinctness
+        # and min/max for free; arbitrary batches pay the full checks.
+        if ascending or n == 1 or bool((np.diff(lpages) > 0).all()):
+            lo, hi = int(lpages[0]), int(lpages[-1])
+        else:
+            lo, hi = int(lpages.min()), int(lpages.max())
+            if np.unique(lpages).size != n:
+                # a duplicate lpage inside one run would fold two updates
+                # into one fancy-indexed store; take the reference path
+                for lpage, token in zip(lpages, tokens):
+                    self.write_page(int(lpage), int(token), cost)
+                return
+        if lo < 0 or hi >= self.geometry.logical_pages:
+            raise AddressError(
+                f"logical page out of range 0..{self.geometry.logical_pages - 1}"
+            )
+        if not ascending and bool((tokens < 0).any()):
+            # ascending certifies a controller-built run, whose tokens are
+            # fresh mints or RMW reads — non-negative by construction
+            raise FTLError("host tokens must be non-negative")
+        ppb = self.geometry.pages_per_block
+        wear = self.config.wear_threshold
+        gc_low = self.config.gc_low_blocks
+        # Fast path: during pure appends the free pool only shrinks at
+        # block-crossing allocate events (at most 1 + n // ppb of them)
+        # and erase counts never change, so if the pool clears the GC
+        # watermark by that margin — and no wear move is already due —
+        # neither GC nor wear levelling can fire anywhere in the run.
+        # The whole run can then be invalidated in one pass and appended
+        # chunk by chunk with no per-chunk checks.  (Invalidating early
+        # is safe exactly because nothing in between reads _valid/_p2l:
+        # those are only consulted by the GC/wear machinery.)
+        if len(self._free) > gc_low + 1 + n // ppb and not (
+            wear and self._wear_pending()
+        ):
+            self._invalidate_run(lpages)
+            i = 0
+            while i < n:
+                active = self._host_active
+                write_point = self.chip.write_point(active)
+                if write_point == ppb:
+                    self._retire_active(active)
+                    active = self._allocate_active()
+                    self._host_active = active
+                    write_point = 0
+                take = min(ppb - write_point, n - i)
+                self._program_run(
+                    active, write_point, lpages[i : i + take], tokens[i : i + take]
+                )
+                i += take
+            cost.page_programs += n
+            return
+        i = 0
+        while i < n:
+            active = self._host_active
+            write_point = self.chip.write_point(active)
+            if write_point == ppb:
+                self._retire_active(active)
+                active = self._allocate_active()
+                self._host_active = active
+                write_point = 0
+            if len(self._free) <= gc_low or (wear and self._wear_pending()):
+                # GC (or a wear move) would run after this page in the
+                # scalar path — replay it exactly.
+                self.write_page(int(lpages[i]), int(tokens[i]), cost)
+                i += 1
+                continue
+            take = min(ppb - write_point, n - i)
+            self._append_run(
+                active, write_point, lpages[i : i + take], tokens[i : i + take]
+            )
+            cost.page_programs += take
+            i += take
+
+    def _append_run(
+        self, active: int, offset: int, lpages: np.ndarray, tokens: np.ndarray
+    ) -> None:
+        """Invalidate + append one chunk that fits the active block
+        (``offset`` is the block's current write point)."""
+        self._invalidate_run(lpages)
+        self._program_run(active, offset, lpages, tokens)
+
+    def _invalidate_run(self, lpages: np.ndarray) -> None:
+        """Vectorized :meth:`_invalidate` over a batch of distinct lpages."""
+        old = self._l2p[lpages]
+        remap = old >= 0
+        # steady state rewrites whole runs of mapped pages — skip the
+        # boolean compress when nothing in the run is fresh
+        mapped = old if bool(remap.all()) else old[remap]
+        if mapped.size:
+            self._p2l[mapped] = -1
+            dec = np.bincount(
+                mapped // self.geometry.pages_per_block, minlength=self._valid.size
+            )
+            self._valid -= dec
+            if self._use_buckets:
+                for block in np.flatnonzero(dec).tolist():
+                    if self._bucket_of[block] >= 0:
+                        self._bucket_dec(block, int(dec[block]))
+
+    def _program_run(
+        self, active: int, offset: int, lpages: np.ndarray, tokens: np.ndarray
+    ) -> None:
+        """Program one already-invalidated chunk and update both maps."""
+        self.chip.program_run(active, offset, tokens)
+        base = active * self.geometry.pages_per_block + offset
+        self._l2p[lpages] = np.arange(base, base + lpages.size, dtype=np.int64)
+        self._p2l[base : base + lpages.size] = lpages
+        self._valid[active] += lpages.size
+
     def _invalidate(self, lpage: int) -> None:
         old = int(self._l2p[lpage])
         if old >= 0:
+            block = old // self.geometry.pages_per_block
             self._p2l[old] = -1
-            self._valid[old // self.geometry.pages_per_block] -= 1
+            self._valid[block] -= 1
             self._l2p[lpage] = -1
+            if self._use_buckets and self._bucket_of[block] >= 0:
+                self._bucket_dec(block)
 
     def _append(self, lpage: int, token: int, host: bool, cost: CostAccumulator) -> None:
         """Program one page at the relevant active block's write point."""
@@ -205,10 +436,14 @@ class PageMapFTL(BaseFTL):
         frees one block while its copies consume one), so GC refuses it —
         there is simply no reclaimable space right now.
         """
+        if self._use_buckets and self.batch_enabled:
+            return self._pick_greedy_bucketed()
         candidates = self._state == _DATA
         if not candidates.any():
             return None
         if self.config.gc_policy == "greedy":
+            # reference path: the full argmin scan (argmin returns the
+            # lowest index among ties, matching the bucketed pick)
             masked = np.where(candidates, self._valid, np.iinfo(np.int32).max)
             victim = int(masked.argmin())
         else:
@@ -218,6 +453,21 @@ class PageMapFTL(BaseFTL):
         if int(self._valid[victim]) >= self.geometry.pages_per_block:
             return None
         return victim
+
+    def _pick_greedy_bucketed(self) -> int | None:
+        """O(1) greedy pick: advance the min-valid floor to the first
+        non-empty bucket and take its lowest block index (the same
+        tie-break the old full ``argmin`` scan used)."""
+        ppb = self.geometry.pages_per_block
+        floor = self._min_bucket
+        while floor <= ppb and not self._buckets[floor]:
+            floor += 1
+        self._min_bucket = floor
+        if floor >= ppb:
+            # no data blocks at all, or only fully-valid ones — nothing
+            # reclaimable (relocating a full block has zero net gain)
+            return None
+        return min(self._buckets[floor])
 
     def _pick_cost_benefit(self, candidates: np.ndarray) -> int | None:
         """The LFS cost-benefit score: ``(1 - u) * age / (1 + u)`` with
@@ -245,6 +495,52 @@ class PageMapFTL(BaseFTL):
 
     def _relocate_block(self, victim: int, cost: CostAccumulator) -> None:
         """Copy a block's valid pages to the GC active block, then erase."""
+        if self._use_buckets:
+            self._bucket_remove(victim)
+        if not self.batch_enabled:
+            self._relocate_block_scalar(victim, cost)
+            return
+        ppb = self.geometry.pages_per_block
+        base = victim * ppb
+        write_point = self.chip.write_point(victim)
+        occupants = self._p2l[base : base + write_point]
+        live_offsets = np.flatnonzero(occupants >= 0)
+        count = int(live_offsets.size)
+        if count:
+            live_lpages = occupants[live_offsets].copy()
+            tokens = self.chip.read_many(base + live_offsets)
+            cost.copy_reads += count
+            self.gc_copy_reads += count
+            self._p2l[base + live_offsets] = -1
+            self._valid[victim] -= count
+            moved = 0
+            while moved < count:
+                active = self._gc_active
+                if self.chip.write_point(active) == ppb:
+                    self._retire_active(active)
+                    active = self._allocate_active()
+                    self._gc_active = active
+                offset = self.chip.write_point(active)
+                take = min(ppb - offset, count - moved)
+                chunk_lpages = live_lpages[moved : moved + take]
+                self.chip.program_run(active, offset, tokens[moved : moved + take])
+                start = active * ppb + offset
+                self._l2p[chunk_lpages] = np.arange(
+                    start, start + take, dtype=np.int64
+                )
+                self._p2l[start : start + take] = chunk_lpages
+                self._valid[active] += take
+                moved += take
+            cost.copy_programs += count
+            self.gc_copy_programs += count
+        self.chip.erase(victim)
+        cost.block_erases += 1
+        self._valid[victim] = 0
+        self._state[victim] = _FREE
+        self._free.append(victim)
+
+    def _relocate_block_scalar(self, victim: int, cost: CostAccumulator) -> None:
+        """Per-page reference implementation of :meth:`_relocate_block`."""
         ppb = self.geometry.pages_per_block
         base = victim * ppb
         for offset in range(self.chip.write_point(victim)):
@@ -268,14 +564,26 @@ class PageMapFTL(BaseFTL):
     # wear levelling
     # ------------------------------------------------------------------
 
-    def _maybe_wear_level(self, cost: CostAccumulator) -> None:
+    def _wear_cold_block(self) -> int | None:
+        """The data block a wear move would relocate, or None when the
+        erase-count spread is within the threshold."""
         counts = self.chip.erase_counts()
         data_mask = self._state == _DATA
         if not data_mask.any():
-            return
+            return None
         coldest = int(np.where(data_mask, counts, np.iinfo(np.int64).max).argmin())
         spread = float(counts.max() - counts[coldest])
         if spread > self.config.wear_threshold:
+            return coldest
+        return None
+
+    def _wear_pending(self) -> bool:
+        """Whether :meth:`_maybe_wear_level` would act right now."""
+        return self._wear_cold_block() is not None
+
+    def _maybe_wear_level(self, cost: CostAccumulator) -> None:
+        coldest = self._wear_cold_block()
+        if coldest is not None:
             self._relocate_block(coldest, cost)
             self.wear_relocations += 1
             cost.note("wear-level")
@@ -304,6 +612,11 @@ class PageMapFTL(BaseFTL):
     # introspection & invariants
     # ------------------------------------------------------------------
 
+    def restore(self, state: dict) -> None:
+        """See :meth:`BaseFTL.restore`; rebuilds the derived GC buckets."""
+        super().restore(state)
+        self._rebuild_buckets()
+
     def metrics(self) -> dict[str, float]:
         """See :meth:`BaseFTL.metrics`: GC victims, wear moves, copy volume."""
         return {
@@ -322,13 +635,14 @@ class PageMapFTL(BaseFTL):
         ppb = self.geometry.pages_per_block
         if sorted(self._free) != sorted(np.flatnonzero(self._state == _FREE).tolist()):
             raise FTLError("free queue out of sync with block states")
-        mapped = self._l2p[self._l2p >= 0]
+        mapped_lpages = np.flatnonzero(self._l2p >= 0)
+        mapped = self._l2p[mapped_lpages]
         if len(np.unique(mapped)) != len(mapped):
             raise FTLError("two logical pages map to one physical page")
-        for lpage in np.flatnonzero(self._l2p >= 0):
-            ppage = int(self._l2p[lpage])
-            if int(self._p2l[ppage]) != int(lpage):
-                raise FTLError(f"direct/inverse map mismatch at lpage {lpage}")
+        agree = self._p2l[mapped] == mapped_lpages
+        if not agree.all():
+            lpage = int(mapped_lpages[np.flatnonzero(~agree)[0]])
+            raise FTLError(f"direct/inverse map mismatch at lpage {lpage}")
         valid_recount = np.bincount(
             (mapped // ppb).astype(np.int64),
             minlength=self.geometry.physical_blocks,
@@ -343,3 +657,20 @@ class PageMapFTL(BaseFTL):
             raise FTLError("block state partition violated")
         if nactive != 2:
             raise FTLError(f"expected 2 active blocks (host + GC), found {nactive}")
+        if self._use_buckets:
+            bucketed: set[int] = set()
+            for valid, bucket in enumerate(self._buckets):
+                for block in bucket:
+                    if int(self._bucket_of[block]) != valid:
+                        raise FTLError(f"block {block} in the wrong GC bucket")
+                    if int(self._valid[block]) != valid:
+                        raise FTLError(
+                            f"GC bucket for block {block} out of sync with "
+                            "its valid counter"
+                        )
+                    if self._state[block] != _DATA:
+                        raise FTLError(f"non-data block {block} in a GC bucket")
+                bucketed.update(bucket)
+            data_blocks = set(np.flatnonzero(self._state == _DATA).tolist())
+            if bucketed != data_blocks:
+                raise FTLError("GC buckets do not cover exactly the data blocks")

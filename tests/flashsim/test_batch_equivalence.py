@@ -1,0 +1,173 @@
+"""Scalar/batch equivalence: the vectorized run kernel must be invisible.
+
+The batched controller→FTL→chip hot path (``Controller`` fast paths,
+``BaseFTL.read_pages``/``write_run``, ``FlashChip.read_run``/
+``program_run``) is a pure performance optimisation: every device profile
+must produce bit-identical state (``fingerprint``), identical physical
+work (``CostAccumulator`` totals) and identical observability counters
+(``metrics``) whether the batch paths are enabled or forced off.
+
+Two devices are driven through the same IO mix — sequential, random,
+aligned, misaligned, reads and writes interleaved — one with
+``batch_enabled = False`` on both the controller and the FTL (the scalar
+reference), one with the defaults.  Dedicated cases cover the
+cache-enabled and mapping-unit-expanded controllers, whose edges force
+the scalar fallbacks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.flashsim.profiles import build_device, profile_names
+from repro.units import KIB, MIB
+
+from ..conftest import SMALL_GEOMETRY, make_device
+
+SECTOR = 512
+
+_COST_FIELDS = (
+    "page_reads",
+    "page_programs",
+    "copy_reads",
+    "copy_programs",
+    "block_erases",
+    "bytes_transferred",
+    "map_misses",
+)
+
+
+def _force_scalar(device) -> None:
+    device.controller.batch_enabled = False
+    device.ftl.batch_enabled = False
+
+
+def _io_mix(geometry, seed: int = 7):
+    """A deterministic interleaving of every access shape the controller
+    distinguishes: sequential/random, page-aligned/sector-misaligned,
+    whole-page and sub-page sizes, reads mixed with writes."""
+    rng = np.random.default_rng(seed)
+    page = geometry.page_size
+    cap = geometry.logical_bytes
+    block = geometry.page_size * geometry.pages_per_block
+    ios: list[tuple[str, int, int]] = []
+
+    def clamp(lba: int, size: int) -> tuple[int, int]:
+        lba = max(0, min(lba, cap - SECTOR))
+        size = max(SECTOR, min(size, cap - lba))
+        return lba, size
+
+    # sequential aligned writes then reads (multi-page runs)
+    for i in range(12):
+        ios.append(("w", *clamp((i * 2 * page) % cap, 2 * page)))
+    for i in range(12):
+        ios.append(("r", *clamp((i * 2 * page) % cap, 2 * page)))
+    # random aligned whole-block and whole-page IOs
+    for _ in range(16):
+        lba = int(rng.integers(0, cap // page)) * page
+        ios.append(("w", *clamp(lba, page)))
+        ios.append(("r", *clamp(lba, page)))
+    for _ in range(4):
+        lba = int(rng.integers(0, max(1, cap // block))) * block
+        ios.append(("w", *clamp(lba, block)))
+    # misaligned sector-granular IOs (RMW edges on both sides)
+    for _ in range(16):
+        lba = int(rng.integers(0, cap // SECTOR)) * SECTOR
+        size = int(rng.integers(1, 2 * page // SECTOR + 1)) * SECTOR
+        mode = "w" if rng.integers(0, 2) else "r"
+        ios.append((mode, *clamp(lba, size)))
+    # sub-page writes inside a single page (no fully covered pages)
+    for _ in range(8):
+        lba = int(rng.integers(0, cap // page)) * page + SECTOR
+        ios.append(("w", *clamp(lba, SECTOR)))
+    # a long sequential sweep to push the page-map FTL into GC
+    for i in range(3 * cap // block):
+        ios.append(("w", *clamp((i * block) % cap, block)))
+    # long sequential reads: spans past the controller's batch-read
+    # threshold, so the array read path (not just writes) is exercised
+    for i in range(4):
+        ios.append(("r", *clamp(i * 4 * block, 4 * block)))
+    return ios
+
+
+def _run_mix(device, ios) -> list[tuple[int, ...]]:
+    costs = []
+    for mode, lba, size in ios:
+        done = device.read(lba, size) if mode == "r" else device.write(lba, size)
+        costs.append(tuple(getattr(done.cost, f) for f in _COST_FIELDS))
+    return costs
+
+
+def _assert_equivalent(scalar, batch, ios) -> None:
+    scalar_costs = _run_mix(scalar, ios)
+    batch_costs = _run_mix(batch, ios)
+    for i, (s, b) in enumerate(zip(scalar_costs, batch_costs)):
+        assert s == b, (
+            f"cost divergence at IO {i} ({ios[i]}): scalar={s} batch={b}"
+        )
+    assert scalar.fingerprint() == batch.fingerprint()
+    assert scalar.metrics() == batch.metrics()
+    batch.check_invariants()
+
+
+@pytest.mark.parametrize("profile", profile_names())
+def test_profiles_scalar_batch_identical(profile):
+    """Every built-in profile: same fingerprint, costs and metrics."""
+    scalar = build_device(profile, logical_bytes=4 * MIB)
+    batch = build_device(profile, logical_bytes=4 * MIB)
+    _force_scalar(scalar)
+    _assert_equivalent(scalar, batch, _io_mix(scalar.geometry))
+
+
+@pytest.mark.parametrize("ftl_kind", ["pagemap", "hybrid", "blockmap", "fast"])
+def test_small_devices_scalar_batch_identical(ftl_kind):
+    """Small bespoke devices exercise GC/merge edges within few IOs."""
+    scalar = make_device(ftl_kind=ftl_kind)
+    batch = make_device(ftl_kind=ftl_kind)
+    _force_scalar(scalar)
+    _assert_equivalent(scalar, batch, _io_mix(SMALL_GEOMETRY, seed=11))
+
+
+@pytest.mark.parametrize("ftl_kind", ["pagemap", "hybrid"])
+def test_cache_enabled_scalar_batch_identical(ftl_kind):
+    """A write-back cache forces the scalar path; counters must agree."""
+    scalar = make_device(ftl_kind=ftl_kind, cache_bytes=64 * KIB)
+    batch = make_device(ftl_kind=ftl_kind, cache_bytes=64 * KIB)
+    _force_scalar(scalar)
+    _assert_equivalent(scalar, batch, _io_mix(SMALL_GEOMETRY, seed=13))
+
+
+@pytest.mark.parametrize("ftl_kind", ["pagemap", "blockmap"])
+def test_mapping_unit_scalar_batch_identical(ftl_kind):
+    """Mapping-unit expansion creates RMW padding on both edges."""
+    unit = 2 * SMALL_GEOMETRY.page_size
+    scalar = make_device(ftl_kind=ftl_kind, mapping_unit=unit)
+    batch = make_device(ftl_kind=ftl_kind, mapping_unit=unit)
+    _force_scalar(scalar)
+    _assert_equivalent(scalar, batch, _io_mix(SMALL_GEOMETRY, seed=17))
+
+
+def test_background_gc_scalar_batch_identical():
+    """Background reclamation interleaves with the batch write path."""
+    scalar = make_device(ftl_kind="pagemap", bg=True)
+    batch = make_device(ftl_kind="pagemap", bg=True)
+    _force_scalar(scalar)
+    _assert_equivalent(scalar, batch, _io_mix(SMALL_GEOMETRY, seed=19))
+
+
+def test_snapshot_restore_preserves_batch_state():
+    """Restoring a snapshot rebuilds derived batch state (GC buckets)."""
+    device = make_device(ftl_kind="pagemap")
+    ios = _io_mix(SMALL_GEOMETRY, seed=23)
+    half = len(ios) // 2
+    _run_mix(device, ios[:half])
+    snap = device.snapshot()
+    fp_mid = device.fingerprint()
+    _run_mix(device, ios[half:])
+    fp_end = device.fingerprint()
+    device.restore(snap)
+    assert device.fingerprint() == fp_mid
+    _run_mix(device, ios[half:])
+    assert device.fingerprint() == fp_end
+    device.check_invariants()

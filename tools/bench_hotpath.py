@@ -1,0 +1,225 @@
+#!/usr/bin/env python
+"""Wall-clock benchmark of the controller→FTL→chip hot path.
+
+Measures simulator throughput — not simulated device latency — for the
+two phases that dominate real campaign time:
+
+* **enforce**: random-state enforcement (random sector-aligned writes
+  covering the whole device, Section 4.1 methodology), the workload the
+  vectorized run kernel targets;
+* **SR/RR/SW/RW**: the four baseline patterns of Section 3.1.
+
+Each workload is timed twice per profile: once with the batch paths on
+(the default) and once forced through the scalar per-page reference
+path, so the speedup is visible in one report.  Results are written as
+``{workload: {"usec_per_io": ..., "sim_ios_per_sec": ...}}`` where
+workload keys look like ``ideal_pagemap/enforce`` (batch) and
+``ideal_pagemap/enforce/scalar``.
+
+Usage::
+
+    python tools/bench_hotpath.py --quick --out BENCH_hotpath.json
+    python tools/bench_hotpath.py --quick --baseline BENCH_hotpath.json
+
+With ``--baseline``, the run fails (exit 1) if any shared workload's
+``usec_per_io`` regresses more than 2x against the committed numbers —
+the CI perf-smoke gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core.methodology import enforce_random_state  # noqa: E402
+from repro.core.patterns import baselines  # noqa: E402
+from repro.core.runner import execute  # noqa: E402
+from repro.flashsim.profiles import build_device, profile_names  # noqa: E402
+from repro.units import KIB, MIB  # noqa: E402
+
+#: baseline-pattern order follows the paper's Table 3 columns
+PATTERN_ORDER = ("SR", "RR", "SW", "RW")
+
+#: regression gate used by --baseline (CI perf smoke)
+REGRESSION_FACTOR = 2.0
+
+DEFAULT_PROFILES = ("ideal_pagemap", "memoright", "kingston_dti")
+
+
+def _set_batch(device, enabled: bool) -> None:
+    device.controller.batch_enabled = enabled
+    device.ftl.batch_enabled = enabled
+
+
+def _entry(elapsed_sec: float, io_count: int) -> dict[str, float]:
+    elapsed_sec = max(elapsed_sec, 1e-9)
+    return {
+        "usec_per_io": round(elapsed_sec * 1e6 / max(io_count, 1), 3),
+        "sim_ios_per_sec": round(max(io_count, 1) / elapsed_sec, 1),
+    }
+
+
+def _warm_up(profile: str) -> None:
+    """Trigger numpy's lazy submodule imports (np.ma via np.unique) and
+    fill code caches on a throwaway device, so they don't land inside
+    the first timed workload."""
+    import numpy as np
+
+    np.unique(np.arange(4))
+    for batch in (True, False):
+        device = build_device(profile, logical_bytes=MIB)
+        _set_batch(device, batch)
+        enforce_random_state(device)
+
+
+def bench_profile(
+    profile: str, logical_bytes: int, io_count: int, batch: bool, repeat: int
+) -> dict[str, dict[str, float]]:
+    """Best-of-``repeat`` timings of enforcement and the four baselines.
+
+    Each repetition runs the full workload sequence on a fresh device
+    (the sequence is deterministic, so repetitions are identical work);
+    the minimum elapsed time per workload is reported, which is robust
+    against scheduler noise on shared machines.
+    """
+    suffix = "" if batch else "/scalar"
+    best_sec: dict[str, float] = {}
+    ios: dict[str, int] = {}
+    specs = baselines(
+        io_size=16 * KIB,
+        io_count=io_count,
+        random_target_size=logical_bytes,
+        sequential_target_size=logical_bytes,
+    )
+    for _ in range(max(repeat, 1)):
+        device = build_device(profile, logical_bytes=logical_bytes)
+        _set_batch(device, batch)
+
+        start = time.perf_counter()
+        report = enforce_random_state(device)
+        elapsed = time.perf_counter() - start
+        key = f"{profile}/enforce{suffix}"
+        best_sec[key] = min(best_sec.get(key, elapsed), elapsed)
+        ios[key] = report.io_count
+
+        for name in PATTERN_ORDER:
+            start = time.perf_counter()
+            execute(device, specs[name])
+            elapsed = time.perf_counter() - start
+            key = f"{profile}/{name}{suffix}"
+            best_sec[key] = min(best_sec.get(key, elapsed), elapsed)
+            ios[key] = io_count
+    return {key: _entry(sec, ios[key]) for key, sec in best_sec.items()}
+
+
+def check_baseline(
+    results: dict[str, dict[str, float]], baseline_path: Path
+) -> list[str]:
+    """Workloads whose usec_per_io regressed past the gate."""
+    baseline = json.loads(baseline_path.read_text())
+    regressions = []
+    for workload, entry in results.items():
+        old = baseline.get(workload)
+        if not old or "usec_per_io" not in old:
+            continue
+        if entry["usec_per_io"] > REGRESSION_FACTOR * old["usec_per_io"]:
+            regressions.append(
+                f"{workload}: {entry['usec_per_io']} usec/io vs "
+                f"baseline {old['usec_per_io']} (> {REGRESSION_FACTOR}x)"
+            )
+    return regressions
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--profiles",
+        default=",".join(DEFAULT_PROFILES),
+        help="comma-separated profile names, or 'all'",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small device (4 MiB) and short sweeps for CI",
+    )
+    parser.add_argument(
+        "--size-mib", type=int, default=0, help="logical capacity override (MiB)"
+    )
+    parser.add_argument(
+        "--io-count", type=int, default=0, help="IOs per baseline pattern"
+    )
+    parser.add_argument(
+        "--out", type=Path, default=None, help="write results JSON here"
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help="committed BENCH_hotpath.json to gate against",
+    )
+    parser.add_argument(
+        "--batch-only",
+        action="store_true",
+        help="skip the scalar reference measurements",
+    )
+    parser.add_argument(
+        "--repeat",
+        type=int,
+        default=3,
+        help="repetitions per workload; the minimum time is reported",
+    )
+    args = parser.parse_args(argv)
+
+    if args.profiles == "all":
+        profiles = profile_names()
+    else:
+        profiles = [p.strip() for p in args.profiles.split(",") if p.strip()]
+    logical = (args.size_mib or (4 if args.quick else 16)) * MIB
+    io_count = args.io_count or (128 if args.quick else 1024)
+
+    _warm_up(profiles[0])
+    results: dict[str, dict[str, float]] = {}
+    for profile in profiles:
+        for batch in (True,) if args.batch_only else (True, False):
+            mode = "batch" if batch else "scalar"
+            print(f"benchmarking {profile} ({mode}) ...", flush=True)
+            results.update(
+                bench_profile(profile, logical, io_count, batch, args.repeat)
+            )
+
+    print(json.dumps(results, indent=2))
+    for profile in profiles:
+        batch_key = f"{profile}/enforce"
+        scalar_key = f"{profile}/enforce/scalar"
+        if batch_key in results and scalar_key in results:
+            speedup = (
+                results[scalar_key]["usec_per_io"]
+                / max(results[batch_key]["usec_per_io"], 1e-9)
+            )
+            print(f"{profile}: enforce speedup {speedup:.2f}x (scalar/batch)")
+
+    if args.out:
+        args.out.write_text(json.dumps(results, indent=2) + "\n")
+        print(f"wrote {args.out}")
+
+    if args.baseline:
+        if not args.baseline.exists():
+            print(f"baseline {args.baseline} missing; skipping gate")
+        else:
+            regressions = check_baseline(results, args.baseline)
+            if regressions:
+                print("PERF REGRESSION:")
+                for line in regressions:
+                    print(f"  {line}")
+                return 1
+            print("perf gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
