@@ -80,7 +80,7 @@ class DeviceSummary:
 def _steady_mean_msec(device: FlashDevice, spec: PatternSpec) -> tuple[float, int]:
     """Mean response time (ms) after the detected start-up phase."""
     run = execute(device, spec)
-    responses = np.array(run.trace.response_times())
+    responses = np.asarray(run.trace.response_times())
     phases = detect_phases(responses)
     rest_device(device, 10 * SEC)
     return float(responses[phases.startup :].mean() / 1000.0), phases.startup

@@ -14,6 +14,7 @@ from repro.core.archive import (
     compare_campaigns,
     list_campaigns,
     load_campaigns,
+    payload_has_traces,
     render_comparison,
     result_from_payload,
     result_to_payload,
@@ -35,7 +36,7 @@ from repro.core.executor import (
     plan_cells,
     results_by_experiment,
 )
-from repro.core.generator import MixGenerator, PatternGenerator
+from repro.core.generator import IOProgram, MixGenerator, PatternGenerator
 from repro.core.interference import PauseDetermination, determine_pause
 from repro.core.methodology import (
     EnforcedState,
@@ -67,6 +68,7 @@ from repro.core.patterns import (
 )
 from repro.core.phases import PhaseAnalysis, PhaseProfile, detect_phases, measure_phases
 from repro.core.plan import BenchmarkPlan, StateReset, TargetAllocator
+from repro.core.report import render_mix_run
 from repro.core.replay import ReplayMode, ReplayResult, remap_rows, replay, replay_csv
 from repro.core.runner import (
     MixRun,
@@ -104,6 +106,7 @@ __all__ = [
     "Experiment",
     "ExperimentResult",
     "ExperimentRow",
+    "IOProgram",
     "LocationKind",
     "MICROBENCHMARKS",
     "MIX_COMBOS",
@@ -154,11 +157,13 @@ __all__ = [
     "load_campaigns",
     "measure_phases",
     "oltp_mix",
+    "payload_has_traces",
     "plan_cells",
     "recommended_io_count",
     "recommended_io_ignore",
     "remap_rows",
     "render_comparison",
+    "render_mix_run",
     "replay",
     "replay_csv",
     "reseed",

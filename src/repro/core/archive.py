@@ -19,6 +19,7 @@ from pathlib import Path
 from repro.core.experiment import Experiment, ExperimentResult, ExperimentRow
 from repro.core.stats import RunStats
 from repro.errors import AnalysisError
+from repro.flashsim.trace import IOTrace
 
 ARCHIVE_VERSION = 1
 
@@ -86,38 +87,51 @@ class Campaign:
         return Campaign.from_payload(json.loads(Path(path).read_text()))
 
 
-def result_to_payload(result: ExperimentResult) -> dict:
+def result_to_payload(
+    result: ExperimentResult, include_traces: bool = False
+) -> dict:
     """JSON-serialisable form of one experiment result.
 
     Public because the run cache and the campaign worker processes use
     the same representation to transport results: JSON round-trips
     Python floats exactly, so a cached or worker-produced result is
     bit-identical to a freshly computed one.
+
+    ``include_traces`` adds each row's per-repetition traces in their
+    columnar form (:meth:`~repro.flashsim.trace.IOTrace.to_payload`) —
+    one list per column rather than one object per IO.
     """
-    return {
-        "parameter": result.experiment.parameter,
-        "rows": [
-            {
-                "value": row.value,
-                "label": row.label,
-                "stats": [
-                    {
-                        "count": stats.count,
-                        "ignored": stats.ignored,
-                        "min_usec": stats.min_usec,
-                        "max_usec": stats.max_usec,
-                        "mean_usec": stats.mean_usec,
-                        "std_usec": stats.std_usec,
-                        "median_usec": stats.median_usec,
-                        "p95_usec": stats.p95_usec,
-                        "total_usec": stats.total_usec,
-                    }
-                    for stats in row.stats
-                ],
-            }
-            for row in result.rows
-        ],
-    }
+    rows = []
+    for row in result.rows:
+        row_payload = {
+            "value": row.value,
+            "label": row.label,
+            "stats": [
+                {
+                    "count": stats.count,
+                    "ignored": stats.ignored,
+                    "min_usec": stats.min_usec,
+                    "max_usec": stats.max_usec,
+                    "mean_usec": stats.mean_usec,
+                    "std_usec": stats.std_usec,
+                    "median_usec": stats.median_usec,
+                    "p95_usec": stats.p95_usec,
+                    "total_usec": stats.total_usec,
+                }
+                for stats in row.stats
+            ],
+        }
+        if include_traces and row.traces:
+            row_payload["traces"] = [
+                trace.to_payload() for trace in row.traces
+            ]
+        rows.append(row_payload)
+    return {"parameter": result.experiment.parameter, "rows": rows}
+
+
+def payload_has_traces(payload: dict) -> bool:
+    """Whether a :func:`result_to_payload` payload carries IO traces."""
+    return any("traces" in row for row in payload.get("rows", ()))
 
 
 def result_from_payload(name: str, payload: dict) -> ExperimentResult:
@@ -139,6 +153,8 @@ def result_from_payload(name: str, payload: dict) -> ExperimentResult:
         row = ExperimentRow(value=row_payload["value"], label=row_payload["label"])
         for stats in row_payload["stats"]:
             row.stats.append(RunStats(**stats))
+        for trace_payload in row_payload.get("traces", ()):
+            row.traces.append(IOTrace.from_payload(trace_payload))
         result.rows.append(row)
     return result
 

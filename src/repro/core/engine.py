@@ -22,6 +22,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
+import numpy as np
+
 from repro.core.generator import MixGenerator, PatternGenerator
 from repro.core.patterns import MixSpec, ParallelMixSpec, ParallelSpec, PatternSpec
 from repro.core.stats import RunStats, summarize
@@ -70,11 +72,17 @@ class Run(BaseRun):
 
 @dataclass
 class MixRun(Run):
-    """One executed mix: overall plus per-component summaries."""
+    """One executed mix: overall plus per-component summaries.
+
+    A component summary is ``None`` when that component has no IOs past
+    the warm-up cut (``io_ignore``) — e.g. a high Ratio with a short
+    run.  It is *not* silently substituted with the overall stats;
+    reports render such components as "n/a".
+    """
 
     spec: MixSpec
-    primary_stats: RunStats
-    secondary_stats: RunStats
+    primary_stats: RunStats | None
+    secondary_stats: RunStats | None
 
 
 @dataclass
@@ -107,14 +115,27 @@ class Engine:
     One engine wraps one :class:`~repro.flashsim.device.FlashDevice`
     plus the per-IO OS overhead; :meth:`run` dispatches on the spec's
     type through the executor registry.
+
+    ``columnar`` selects the recording pipeline: the default drives the
+    hosts' program runners, which record scalars straight into columnar
+    traces; ``columnar=False`` forces the legacy per-request feed path
+    (object construction per IO).  Both produce bit-identical traces
+    and statistics — the flag exists for the equivalence suite and the
+    hot-path benchmark.
     """
 
     _executors: dict[type, ExecutorFn] = {}
     _reseeders: dict[type, ReseederFn] = {}
 
-    def __init__(self, device: FlashDevice, os_overhead_usec: float = 0.0) -> None:
+    def __init__(
+        self,
+        device: FlashDevice,
+        os_overhead_usec: float = 0.0,
+        columnar: bool = True,
+    ) -> None:
         self.device = device
         self.os_overhead_usec = os_overhead_usec
+        self.columnar = columnar
 
     # -- registry ------------------------------------------------------
 
@@ -174,8 +195,10 @@ class Engine:
     def _trace_sync(self, generator, at: float) -> IOTrace:
         """Drive one generator through a synchronous host."""
         host = SyncHost(self.device, os_overhead_usec=self.os_overhead_usec)
+        if self.columnar:
+            return host.run_program(generator.program(), start_at=at)
         completions = host.run(generator, start_at=at)
-        trace = IOTrace()
+        trace = IOTrace(capacity=len(completions))
         trace.extend(completions)
         return trace
 
@@ -184,17 +207,24 @@ class Engine:
         traces into ``result`` (stats cover every process past its own
         warm-up — the measurement a synchronous host thread observes)."""
         host = ParallelHost(self.device, os_overhead_usec=self.os_overhead_usec)
-        feeds = [PatternGenerator(spec, start_at=at) for spec in process_specs]
-        per_process = host.run(feeds, start_at=at)
-        all_responses: list[float] = []
-        for process_spec, completions in zip(process_specs, per_process):
-            trace = IOTrace()
-            trace.extend(completions)
+        generators = [PatternGenerator(spec, start_at=at) for spec in process_specs]
+        if self.columnar:
+            traces = host.run_programs(
+                [generator.program() for generator in generators], start_at=at
+            )
+        else:
+            traces = []
+            for completions in host.run(generators, start_at=at):
+                trace = IOTrace(capacity=len(completions))
+                trace.extend(completions)
+                traces.append(trace)
+        measured_chunks = []
+        for process_spec, trace in zip(process_specs, traces):
             responses = trace.response_times()
             stats = summarize(responses, process_spec.io_ignore)
             result.runs.append(Run(spec=process_spec, trace=trace, stats=stats))
-            all_responses.extend(responses[process_spec.io_ignore:])
-        result.stats = summarize(all_responses)
+            measured_chunks.append(np.asarray(responses)[process_spec.io_ignore:])
+        result.stats = summarize(np.concatenate(measured_chunks))
         return result
 
 
@@ -228,19 +258,21 @@ def _execute_mix(engine: Engine, spec: MixSpec, at: float) -> MixRun:
     # the FlashIO tool scales it for mixed workloads (Section 5.1)
     generator = MixGenerator(spec, start_at=at)
     trace = engine._trace_sync(generator, at)
-    responses = trace.response_times()
+    responses = np.asarray(trace.response_times())
     stats = summarize(responses, spec.io_ignore)
-    per_component: list[list[float]] = [[], []]
-    for position, which in enumerate(generator.component_log):
-        if position < spec.io_ignore:
-            continue
-        per_component[which].append(responses[position])
+    # boolean-mask the component schedule instead of a Python loop; a
+    # component with no IOs past the warm-up cut reports None (it must
+    # not silently inherit the overall stats)
+    which = generator.components_array
+    measured = np.arange(len(which)) >= spec.io_ignore
+    primary = responses[measured & (which == 0)]
+    secondary = responses[measured & (which == 1)]
     return MixRun(
         spec=spec,
         trace=trace,
         stats=stats,
-        primary_stats=summarize(per_component[0]) if per_component[0] else stats,
-        secondary_stats=summarize(per_component[1]) if per_component[1] else stats,
+        primary_stats=summarize(primary) if primary.size else None,
+        secondary_stats=summarize(secondary) if secondary.size else None,
     )
 
 

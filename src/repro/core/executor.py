@@ -35,7 +35,11 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Sequence
 
-from repro.core.archive import result_from_payload, result_to_payload
+from repro.core.archive import (
+    payload_has_traces,
+    result_from_payload,
+    result_to_payload,
+)
 from repro.core.experiment import Experiment, ExperimentResult, run_experiment
 from repro.core.methodology import StatePool
 from repro.core.microbench import BenchContext, build_microbenchmark
@@ -60,10 +64,14 @@ class Observe:
     *inherits* the parent's installed tracer/registry objects — recording
     into those copies would silently lose everything, so workers shadow
     them with fresh instances (or ``None``) based on these flags.
+
+    ``traces`` asks the cell to keep and return its per-IO traces
+    (columnar payloads inside the result) rather than statistics only.
     """
 
     metrics: bool = False
     tracing: bool = False
+    traces: bool = False
 
 
 #: the default: no observability channels recorded
@@ -166,7 +174,9 @@ def _cell_experiment(cell: CampaignCell, capacity: int) -> Experiment:
     )
 
 
-def _run_cell_body(cell: CampaignCell, snapshot: DeviceSnapshot) -> dict:
+def _run_cell_body(
+    cell: CampaignCell, snapshot: DeviceSnapshot, keep_traces: bool = False
+) -> dict:
     """Execute one cell; returns an envelope of payload + observability.
 
     The single per-cell code path: the sequential executor calls it
@@ -174,7 +184,8 @@ def _run_cell_body(cell: CampaignCell, snapshot: DeviceSnapshot) -> dict:
     worker processes call it via :func:`_execute_cell_remote` under
     their own.  Determinism makes the two executions bit-identical.
 
-    The envelope maps ``payload`` (the measurements), ``metrics`` (the
+    The envelope maps ``payload`` (the measurements, with columnar
+    per-IO traces included when ``keep_traces``), ``metrics`` (the
     cell's device-counter delta, ``None`` when metrics are off) and
     ``wall_usec`` (host wall-clock execution time).
     """
@@ -207,9 +218,10 @@ def _run_cell_body(cell: CampaignCell, snapshot: DeviceSnapshot) -> dict:
             pause_usec=cell.pause_usec,
             repetitions=cell.repetitions,
             allocate=allocate,
+            keep_traces=keep_traces,
         )
     envelope = {
-        "payload": result_to_payload(result),
+        "payload": result_to_payload(result, include_traces=keep_traces),
         "metrics": None,
         "wall_usec": (time.perf_counter() - wall_start) * 1e6,
     }
@@ -244,7 +256,7 @@ def _execute_cell_remote(
     tracer = obs_tracing.Tracer() if observe.tracing else None
     registry = obs_metrics.MetricsRegistry() if observe.metrics else None
     with obs_tracing.installed(tracer), obs_metrics.installed(registry):
-        envelope = _run_cell_body(cell, snapshot)
+        envelope = _run_cell_body(cell, snapshot, keep_traces=observe.traces)
     envelope["spans"] = (
         [span.to_payload() for span in tracer.spans] if tracer is not None else []
     )
@@ -273,6 +285,9 @@ class RunCache:
         self.misses = 0
         #: simulated IO volume the hits avoided re-measuring
         self.bytes_saved = 0
+        #: pickle bytes the columnar trace format saved over the legacy
+        #: object-graph format, summed over entries stored with traces
+        self.trace_bytes_saved = 0
 
     @staticmethod
     def key(cell: CampaignCell, fingerprint: str, spec_digest: str) -> str:
@@ -303,12 +318,19 @@ class RunCache:
     def _path(self, key: str) -> Path:
         return self.directory / f"{key}.json"
 
-    def get_entry(self, key: str, cell: CampaignCell | None = None) -> dict | None:
+    def get_entry(
+        self,
+        key: str,
+        cell: CampaignCell | None = None,
+        require_traces: bool = False,
+    ) -> dict | None:
         """The whole memoized entry for ``key``, or None on a miss.
 
         Passing the ``cell`` lets the cache credit its bytes-saved
         account on a hit: every hit avoids re-simulating the cell's IO
-        volume (io_count x io_size per repetition).
+        volume (io_count x io_size per repetition).  With
+        ``require_traces``, an entry stored without per-IO traces does
+        not satisfy a trace-keeping campaign and counts as a miss.
         """
         path = self._path(key)
         try:
@@ -317,6 +339,9 @@ class RunCache:
             self.misses += 1
             return None
         if entry.get("version") != CACHE_VERSION:
+            self.misses += 1
+            return None
+        if require_traces and not payload_has_traces(entry.get("payload", {})):
             self.misses += 1
             return None
         self.hits += 1
@@ -337,7 +362,13 @@ class RunCache:
         metrics: dict | None = None,
         wall_usec: float = 0.0,
     ) -> Path:
-        """Store one executed cell's payload (and observability) under ``key``."""
+        """Store one executed cell's payload (and observability) under ``key``.
+
+        When the payload carries per-IO traces, the entry additionally
+        records how many pickle bytes the columnar format saved over the
+        legacy object-graph format (``trace_bytes``), and the cache
+        accumulates the total in :attr:`trace_bytes_saved`.
+        """
         entry = {
             "version": CACHE_VERSION,
             "cell": dataclasses.asdict(cell),
@@ -345,6 +376,24 @@ class RunCache:
             "metrics": metrics,
             "wall_usec": wall_usec,
         }
+        if payload_has_traces(payload):
+            from repro.flashsim.trace import IOTrace, pickled_sizes
+
+            columnar_total = 0
+            object_total = 0
+            for row in payload["rows"]:
+                for trace_payload in row.get("traces", ()):
+                    columnar, object_graph = pickled_sizes(
+                        IOTrace.from_payload(trace_payload)
+                    )
+                    columnar_total += columnar
+                    object_total += object_graph
+            entry["trace_bytes"] = {
+                "columnar": columnar_total,
+                "object_graph": object_total,
+                "saved": object_total - columnar_total,
+            }
+            self.trace_bytes_saved += object_total - columnar_total
         path = self._path(key)
         path.write_text(json.dumps(entry, indent=2))
         return path
@@ -370,6 +419,10 @@ class CampaignExecutor:
     across a process pool.  Either way every cell starts from the same
     restored snapshot and runs the same code path, so the two modes
     produce identical results.
+
+    ``keep_traces`` makes cells keep and return their per-IO traces
+    (columnar payloads); cache entries stored without traces then no
+    longer satisfy a hit and are re-run.
     """
 
     def __init__(
@@ -379,6 +432,7 @@ class CampaignExecutor:
         enforce: bool = True,
         enforce_seed: int = 97,
         state_pool: StatePool | None = None,
+        keep_traces: bool = False,
     ) -> None:
         if jobs < 1:
             raise ExperimentError("jobs must be >= 1")
@@ -386,6 +440,7 @@ class CampaignExecutor:
         self.cache = RunCache(cache) if isinstance(cache, (str, Path)) else cache
         self.enforce = enforce
         self.enforce_seed = enforce_seed
+        self.keep_traces = keep_traces
         self._pool = state_pool or StatePool()
 
     def prepare(self, profile: str, capacity: int | None):
@@ -418,7 +473,11 @@ class CampaignExecutor:
         report = status or (lambda message: None)
         registry = obs_metrics.current()
         tracer = obs_tracing.current()
-        observe = Observe(metrics=registry is not None, tracing=tracer is not None)
+        observe = Observe(
+            metrics=registry is not None,
+            tracing=tracer is not None,
+            traces=self.keep_traces,
+        )
         total = len(cells)
         done = 0
 
@@ -469,7 +528,9 @@ class CampaignExecutor:
                 if self.cache is not None:
                     digest = self.cache.spec_digest(cell, capacity)
                     key = self.cache.key(cell, fingerprint, digest)
-                    entry = self.cache.get_entry(key, cell)
+                    entry = self.cache.get_entry(
+                        key, cell, require_traces=self.keep_traces
+                    )
                     if entry is not None:
                         outcome = CellOutcome(
                             cell=cell,
@@ -489,7 +550,14 @@ class CampaignExecutor:
                 report(f"running {len(pending)} cell(s) with jobs={self.jobs}")
             if self.jobs == 1 or len(pending) <= 1:
                 for index, cell, snapshot, key in pending:
-                    finish(index, cell, key, _run_cell_body(cell, snapshot))
+                    finish(
+                        index,
+                        cell,
+                        key,
+                        _run_cell_body(
+                            cell, snapshot, keep_traces=self.keep_traces
+                        ),
+                    )
             else:
                 workers = min(self.jobs, len(pending))
                 with ProcessPoolExecutor(

@@ -20,6 +20,7 @@ from repro.core.patterns import MixSpec, ParallelMixSpec, ParallelSpec, PatternS
 from repro.core.stats import RunStats, relative_difference
 from repro.errors import ExperimentError
 from repro.flashsim.device import FlashDevice
+from repro.flashsim.trace import IOTrace
 from repro.units import SEC
 
 SpecLike = Union[PatternSpec, MixSpec, ParallelSpec, ParallelMixSpec]
@@ -46,12 +47,18 @@ class Experiment:
 
 @dataclass
 class ExperimentRow:
-    """Result for one parameter value: per-repetition stats + average."""
+    """Result for one parameter value: per-repetition stats + average.
+
+    ``traces`` holds the per-repetition IO traces when the experiment
+    was run with ``keep_traces=True`` (empty otherwise — traces are
+    large, so keeping them is opt-in).
+    """
 
     value: Any
     label: str
     stats: list[RunStats] = field(default_factory=list)
     extra: dict[str, float] = field(default_factory=dict)
+    traces: list[IOTrace] = field(default_factory=list)
 
     def _require_stats(self) -> None:
         if not self.stats:
@@ -136,6 +143,7 @@ def run_experiment(
     pause_usec: float = 1.0 * SEC,
     repetitions: int = 1,
     allocate: Callable[[SpecLike], SpecLike] | None = None,
+    keep_traces: bool = False,
 ) -> ExperimentResult:
     """Run every value of an experiment against a live device.
 
@@ -143,7 +151,9 @@ def run_experiment(
     one run's deferred reclamation cannot pollute the next run's
     measurements.  ``allocate`` optionally rewrites target offsets (a
     :class:`~repro.core.plan.TargetAllocator` bound method) so
-    sequential-write runs land on fresh space.
+    sequential-write runs land on fresh space.  ``keep_traces`` stores
+    each repetition's per-IO trace on its :class:`ExperimentRow`
+    (Section 4.2's dense traces, needed for phase re-analysis).
     """
     if repetitions < 1:
         raise ExperimentError("repetitions must be >= 1")
@@ -157,6 +167,10 @@ def run_experiment(
                 spec = allocate(spec)
             run = execute_spec(device, spec)
             row.stats.append(run.stats)
+            if keep_traces:
+                trace = getattr(run, "trace", None)
+                if trace is not None:
+                    row.traces.append(trace)
             rest_device(device, pause_usec)
         result.rows.append(row)
     return result

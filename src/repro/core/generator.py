@@ -2,18 +2,56 @@
 
 The submit time of IO ``i`` depends on the *response time* of IO
 ``i-1`` (Table 1: ``t(IOi) = t(IOi-1) + rt(IOi-1) [+ pauses]``), so a
-pattern cannot be fully materialised up front — the generator consumes
-each completion to schedule the next request.  The generators implement
-the :data:`~repro.flashsim.host.RequestFeed` protocol used by the host
-models.
+pattern cannot be fully materialised up front — the feedback step is
+irreducibly per-IO.  Everything *else* is not: the random slot draws,
+the LBA formula and the inter-IO gaps depend only on the index, so the
+generators pre-draw the whole run in one batch at construction and
+expose the result as an :class:`IOProgram` of columns.  The hosts'
+program runners consume those columns directly; the legacy per-request
+protocol (:data:`~repro.flashsim.host.RequestFeed`) keeps working on
+top of the same precomputed values, so both paths see identical IOs.
+
+The RNG is ``random.Random(seed)`` exactly as before — pre-drawing
+consumes the same stream in the same order, so every simulated
+measurement is unchanged.
 """
 
 from __future__ import annotations
 
 import random
+from dataclasses import dataclass
+
+import numpy as np
 
 from repro.core.patterns import LocationKind, MixSpec, PatternSpec
-from repro.iotypes import CompletedIO, IORequest
+from repro.iotypes import CompletedIO, IORequest, Mode
+
+
+@dataclass(frozen=True)
+class IOProgram:
+    """The precomputable columns of one run, index-aligned.
+
+    ``lbas``/``sizes`` are int64, ``writes`` bool, ``gaps`` float64 (the
+    pause inserted before each IO, after the previous completion);
+    ``components`` is the issuing mix component per IO (int8) or
+    ``None`` for basic patterns.  Submit times are *not* here — they
+    depend on measured response times and are computed by the host loop.
+    """
+
+    lbas: np.ndarray
+    sizes: np.ndarray
+    writes: np.ndarray
+    gaps: np.ndarray
+    components: np.ndarray | None = None
+
+    def __len__(self) -> int:
+        return len(self.lbas)
+
+
+def _pre_draw(seed: int, slots: int, count: int) -> list[int]:
+    """The first ``count`` values of the spec's random-slot stream."""
+    rng = random.Random(seed)
+    return [rng.randrange(slots) for _ in range(count)]
 
 
 class PatternGenerator:
@@ -26,7 +64,25 @@ class PatternGenerator:
         self.spec = spec
         self.start_at = start_at
         self._index = 0
-        self._rng = random.Random(spec.seed)
+        count = spec.io_count
+        draws = None
+        if spec.location is LocationKind.RANDOM:
+            draws = np.array(
+                _pre_draw(spec.seed, spec.slots, count), dtype=np.int64
+            )
+        lbas = spec.lba_array(np.arange(count, dtype=np.int64), draws)
+        self._program = IOProgram(
+            lbas=lbas,
+            sizes=np.full(count, spec.io_size, dtype=np.int64),
+            writes=np.full(count, spec.mode is Mode.WRITE, dtype=np.bool_),
+            gaps=spec.gap_array(count),
+        )
+        self._lbas = lbas.tolist()
+        self._gaps = self._program.gaps.tolist()
+
+    def program(self) -> IOProgram:
+        """The precomputed columns of the whole run."""
+        return self._program
 
     def __call__(self, previous: CompletedIO | None) -> IORequest | None:
         spec = self.spec
@@ -37,13 +93,10 @@ class PatternGenerator:
         if previous is None:
             scheduled = self.start_at
         else:
-            scheduled = previous.completed_at + spec.inter_io_gap(index)
-        draw = None
-        if spec.location is LocationKind.RANDOM:
-            draw = self._rng.randrange(spec.slots)
+            scheduled = previous.completed_at + self._gaps[index]
         return IORequest(
             index=index,
-            lba=spec.lba(index, draw),
+            lba=self._lbas[index],
             size=spec.io_size,
             mode=spec.mode,
             scheduled_at=scheduled,
@@ -58,44 +111,79 @@ class PatternGenerator:
 class MixGenerator:
     """Interleaves two basic patterns with a Ratio (Mix micro-benchmark).
 
-    Component generators keep independent indexes into their own
-    patterns; the mix-level index decides whose turn it is.  The mix's
-    timing is consecutive (component pauses would make the Ratio
-    parameter no longer the single varying factor).
+    The component schedule (whose turn each mix index is), the
+    per-component inner indexes and the random draws are all precomputed
+    at construction; the mix's timing is consecutive (component pauses
+    would make the Ratio parameter no longer the single varying factor).
     """
 
     def __init__(self, spec: MixSpec, start_at: float = 0.0) -> None:
         self.spec = spec
         self.start_at = start_at
         self._index = 0
-        self._component_index = [0, 0]
-        self._rngs = [
-            random.Random(spec.primary.seed),
-            random.Random(spec.secondary.seed),
+        count = spec.io_count
+        indexes = np.arange(count, dtype=np.int64)
+        which = (indexes % (spec.ratio + 1) == spec.ratio).astype(np.int8)
+        lbas = np.empty(count, dtype=np.int64)
+        sizes = np.empty(count, dtype=np.int64)
+        writes = np.empty(count, dtype=np.bool_)
+        for side, component in enumerate((spec.primary, spec.secondary)):
+            mask = which == side
+            occurrences = int(mask.sum())
+            inner = (
+                np.arange(occurrences, dtype=np.int64) % component.io_count
+            )
+            draws = None
+            if component.location is LocationKind.RANDOM:
+                # one draw per occurrence, wrap or not — exactly the
+                # stream the per-request path consumed lazily
+                draws = np.array(
+                    _pre_draw(component.seed, component.slots, occurrences),
+                    dtype=np.int64,
+                )
+            lbas[mask] = component.lba_array(inner, draws)
+            sizes[mask] = component.io_size
+            writes[mask] = component.mode is Mode.WRITE
+        self._program = IOProgram(
+            lbas=lbas,
+            sizes=sizes,
+            writes=writes,
+            gaps=np.zeros(count, dtype=np.float64),
+            components=which,
+        )
+        self._lbas = lbas.tolist()
+        self._sizes = sizes.tolist()
+        self._modes = [
+            Mode.WRITE if write else Mode.READ for write in writes.tolist()
         ]
-        self._components = (spec.primary, spec.secondary)
+        self._which = which.tolist()
         #: which component produced each issued IO, in order (the runner
         #: splits statistics per component with this)
         self.component_log: list[int] = []
 
+    def program(self) -> IOProgram:
+        """The precomputed columns of the whole mix run."""
+        return self._program
+
+    @property
+    def components_array(self) -> np.ndarray:
+        """Issuing component per mix index (0=primary, 1=secondary),
+        for the entire run regardless of how many IOs were issued."""
+        assert self._program.components is not None
+        return self._program.components
+
     def __call__(self, previous: CompletedIO | None) -> IORequest | None:
         if self._index >= self.spec.io_count:
             return None
-        which = self.spec.component_for(self._index)
-        component = self._components[which]
-        inner_index = self._component_index[which] % component.io_count
-        self._component_index[which] += 1
-        draw = None
-        if component.location is LocationKind.RANDOM:
-            draw = self._rngs[which].randrange(component.slots)
+        index = self._index
+        self._index += 1
         scheduled = self.start_at if previous is None else previous.completed_at
         request = IORequest(
-            index=self._index,
-            lba=component.lba(inner_index, draw),
-            size=component.io_size,
-            mode=component.mode,
+            index=index,
+            lba=self._lbas[index],
+            size=self._sizes[index],
+            mode=self._modes[index],
             scheduled_at=scheduled,
         )
-        self.component_log.append(which)
-        self._index += 1
+        self.component_log.append(self._which[index])
         return request

@@ -23,6 +23,8 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass, replace
 
+import numpy as np
+
 from repro.errors import PatternError
 from repro.iotypes import Mode
 from repro.units import KIB
@@ -161,6 +163,36 @@ class PatternSpec:
         offset = ((index // self.partitions) * self.io_size) % partition_size
         return base + which * partition_size + offset
 
+    def lba_array(
+        self, indexes: np.ndarray, draws: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Vectorised :meth:`lba` over an int64 index array.
+
+        ``draws`` supplies the random slot draws (one per index) for
+        random locations.  Python's and numpy's ``%`` agree for the
+        positive moduli used here, so each element equals the scalar
+        formula exactly.
+        """
+        base = self.target_offset + self.io_shift
+        if self.location is LocationKind.RANDOM:
+            if draws is None:
+                raise PatternError("random location requires slot draws")
+            draws = np.asarray(draws, dtype=np.int64)
+            if draws.size and (
+                draws.min() < 0 or draws.max() >= self.slots
+            ):
+                raise PatternError("slot draw out of range")
+            return base + draws * self.io_size
+        indexes = np.asarray(indexes, dtype=np.int64)
+        if self.location is LocationKind.SEQUENTIAL:
+            return base + (indexes * self.io_size) % self.target_size
+        if self.location is LocationKind.ORDERED:
+            return base + (self.incr * indexes * self.io_size) % self.target_size
+        partition_size = self.target_size // self.partitions
+        which = indexes % self.partitions
+        offset = ((indexes // self.partitions) * self.io_size) % partition_size
+        return base + which * partition_size + offset
+
     # ------------------------------------------------------------------
     # the t(IOi) attribute function
     # ------------------------------------------------------------------
@@ -182,6 +214,18 @@ class PatternSpec:
         if self.timing is TimingKind.PAUSE:
             return self.pause_usec
         return self.pause_usec if index % self.burst == 0 else 0.0
+
+    def gap_array(self, count: int) -> np.ndarray:
+        """Vectorised :meth:`inter_io_gap` for indexes ``0..count-1``."""
+        gaps = np.zeros(count, dtype=np.float64)
+        if count == 0 or self.timing is TimingKind.CONSECUTIVE:
+            return gaps
+        if self.timing is TimingKind.PAUSE:
+            gaps[1:] = self.pause_usec
+            return gaps
+        indexes = np.arange(count)
+        gaps[(indexes % self.burst == 0) & (indexes > 0)] = self.pause_usec
+        return gaps
 
     # ------------------------------------------------------------------
     # convenience

@@ -8,10 +8,13 @@ the benchmark harness can print the same rows/series the paper reports.
 from __future__ import annotations
 
 import json
-from typing import Any, Sequence
+from typing import TYPE_CHECKING, Any, Sequence
 
 from repro.core.experiment import ExperimentResult
 from repro.units import usec_to_msec
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.core.engine import MixRun
 
 
 def format_table(headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
@@ -73,6 +76,40 @@ def render_series(
             row.append(f"{ys[index]:.3f}" if index < len(ys) else "")
         rows.append(row)
     return f"{title}\n{format_table(headers, rows)}"
+
+
+def render_mix_run(run: "MixRun") -> str:
+    """One executed mix as a table: overall plus per-component rows.
+
+    A component with no IOs past the warm-up cut has no summary
+    (``MixRun`` stats are ``None`` then) and renders as ``n/a`` — it is
+    never conflated with the overall statistics.
+    """
+    rows = []
+    for name, spec_label, stats in (
+        ("overall", run.spec.label, run.stats),
+        ("primary", run.spec.primary.label, run.primary_stats),
+        ("secondary", run.spec.secondary.label, run.secondary_stats),
+    ):
+        if stats is None:
+            rows.append((name, spec_label, "0", "n/a", "n/a"))
+        else:
+            rows.append(
+                (
+                    name,
+                    spec_label,
+                    str(stats.count),
+                    f"{usec_to_msec(stats.mean_usec):.3f}",
+                    f"{usec_to_msec(stats.max_usec):.3f}",
+                )
+            )
+    table = format_table(
+        ("component", "pattern", "ios", "mean (ms)", "max (ms)"), rows
+    )
+    note = ""
+    if run.primary_stats is None or run.secondary_stats is None:
+        note = "\n(n/a: component has no IOs past io_ignore)"
+    return f"mix {run.spec.label}\n{table}{note}"
 
 
 def experiment_to_csv(result: ExperimentResult) -> str:

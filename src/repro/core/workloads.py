@@ -271,21 +271,20 @@ def evaluate_workload(
         run = execute(device, spec)
         trace = run.trace
         stats = run.stats
-    bytes_written = sum(
-        completed.request.size
-        for completed in trace
-        if completed.request.mode is Mode.WRITE
-    )
-    programs = sum(
-        completed.cost.page_programs + completed.cost.copy_programs
-        for completed in trace
+    writes = trace.column("write")
+    bytes_written = int(trace.column("size")[writes].sum())
+    programs = int(
+        trace.column("page_programs").sum()
+        + trace.column("copy_programs").sum()
     )
     page_size = device.geometry.page_size
     report = WorkloadReport(
         name=name,
         io_count=len(trace),
         mean_usec=stats.mean_usec,
-        span_usec=trace[-1].completed_at - trace[0].submitted_at,
+        span_usec=float(
+            trace.column("completed_at")[-1] - trace.column("submitted_at")[0]
+        ),
         bytes_written=bytes_written,
         physical_programs=programs,
     )

@@ -36,7 +36,7 @@ from repro.flashsim.profiles import (
     scaled_profile,
 )
 from repro.flashsim.timing import MLC_TIMING, SLC_TIMING, CostAccumulator, TimingSpec
-from repro.flashsim.trace import IOTrace, TraceRow
+from repro.flashsim.trace import IOTrace, TraceRow, pickled_sizes
 from repro.flashsim.wear import (
     LifetimeProjection,
     WearReport,
@@ -80,6 +80,7 @@ __all__ = [
     "get_profile",
     "profile_names",
     "measure_run_energy",
+    "pickled_sizes",
     "project_lifetime",
     "scaled_profile",
     "wear_report",

@@ -22,6 +22,7 @@ from __future__ import annotations
 import hashlib
 import random
 from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING
 
 from repro.errors import AddressError, SnapshotError
 from repro.flashsim.chip import FlashChip
@@ -30,6 +31,9 @@ from repro.flashsim.ftl.base import BaseFTL
 from repro.flashsim.geometry import Geometry
 from repro.flashsim.timing import CostAccumulator, TimingSpec
 from repro.iotypes import CompletedIO, IORequest, Mode
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.flashsim.trace import IOTrace
 
 
 @dataclass
@@ -126,15 +130,20 @@ class FlashDevice:
         """Logical capacity in bytes."""
         return self.geometry.logical_bytes
 
-    def submit(self, request: IORequest, now: float) -> CompletedIO:
-        """Submit one IO at simulated time ``now`` and service it.
+    def _service(
+        self, lba: int, size: int, write: bool, now: float
+    ) -> tuple[float, float, CostAccumulator]:
+        """Service one IO; returns ``(start, completion, cost)``.
 
-        The device is a single queue: service starts when it falls idle.
-        Response time = completion − submission, queueing included.
+        The single code path behind :meth:`submit` and
+        :meth:`submit_into` — the operation order (queueing, background
+        grants, noise draw, accounting) is identical for both, so the
+        columnar and object-based pipelines evolve device state
+        bit-identically.
         """
-        if not self.geometry.contains(request.lba, request.size):
+        if not self.geometry.contains(lba, size):
             raise AddressError(
-                f"IO [{request.lba}, +{request.size}) outside device capacity "
+                f"IO [{lba}, +{size}) outside device capacity "
                 f"{self.geometry.logical_bytes}"
             )
         start = max(now, self._busy_until)
@@ -145,15 +154,15 @@ class FlashDevice:
 
         cost = CostAccumulator()
         interfered = False
-        if request.mode is Mode.READ:
-            self.controller.read(request.lba, request.size, cost)
+        if not write:
+            self.controller.read(lba, size, cost)
             service = cost.total(self.timing)
             if self.ftl.background_work_pending():
                 service *= self.background.read_interference
                 interfered = True
             self._grant_background(service * self.background.read_concurrency)
         else:
-            self.controller.write(request.lba, request.size, cost)
+            self.controller.write(lba, size, cost)
             service = cost.total(self.timing)
         if self.noise.jitter:
             # multiplicative measurement noise, floored so service time
@@ -163,7 +172,18 @@ class FlashDevice:
 
         completion = start + service
         self._busy_until = completion
-        self._account(request, service, interfered)
+        self._account(write, size, service, interfered)
+        return start, completion, cost
+
+    def submit(self, request: IORequest, now: float) -> CompletedIO:
+        """Submit one IO at simulated time ``now`` and service it.
+
+        The device is a single queue: service starts when it falls idle.
+        Response time = completion − submission, queueing included.
+        """
+        start, completion, cost = self._service(
+            request.lba, request.size, request.mode is Mode.WRITE, now
+        )
         return CompletedIO(
             request=request,
             submitted_at=now,
@@ -171,6 +191,29 @@ class FlashDevice:
             completed_at=completion,
             cost=cost,
         )
+
+    def submit_into(
+        self,
+        trace: "IOTrace",
+        index: int,
+        lba: int,
+        size: int,
+        write: bool,
+        now: float,
+        scheduled_at: float,
+    ) -> float:
+        """Service one IO and record it straight into a columnar trace.
+
+        The hot-path equivalent of :meth:`submit` used by the hosts'
+        program runners: no :class:`~repro.iotypes.IORequest` /
+        :class:`~repro.iotypes.CompletedIO` objects are built, the row
+        lands in ``trace`` as scalars.  Returns the completion time.
+        """
+        start, completion, cost = self._service(lba, size, write, now)
+        trace.record(
+            index, lba, size, write, scheduled_at, now, start, completion, cost
+        )
+        return completion
 
     def read(self, lba: int, size: int, now: float = 0.0) -> CompletedIO:
         """Convenience synchronous read (examples / tests)."""
@@ -312,16 +355,18 @@ class FlashDevice:
     # accounting / introspection
     # ------------------------------------------------------------------
 
-    def _account(self, request: IORequest, service: float, interfered: bool) -> None:
+    def _account(
+        self, write: bool, size: int, service: float, interfered: bool
+    ) -> None:
         self.stats.busy_usec += service
-        if request.mode is Mode.READ:
+        if not write:
             self.stats.reads += 1
-            self.stats.bytes_read += request.size
+            self.stats.bytes_read += size
             if interfered:
                 self.stats.interfered_reads += 1
         else:
             self.stats.writes += 1
-            self.stats.bytes_written += request.size
+            self.stats.bytes_written += size
 
     def metrics(self) -> dict[str, float]:
         """Cumulative counters for every layer as one flat map.

@@ -21,10 +21,14 @@ file system and disk scheduler cannot reorder or coalesce them
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterator, Sequence
+from typing import TYPE_CHECKING, Callable, Iterator, Sequence
 
 from repro.flashsim.device import FlashDevice
+from repro.flashsim.trace import IOTrace
 from repro.iotypes import CompletedIO, IORequest
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.core.generator import IOProgram
 
 #: a pattern feed: given the previous completion (None at the start),
 #: yields the next request or None when the pattern is exhausted.
@@ -54,6 +58,35 @@ class SyncHost:
             previous = completed
         return completions
 
+    def run_program(
+        self, program: "IOProgram", start_at: float = 0.0
+    ) -> IOTrace:
+        """Drive a precomputed :class:`~repro.core.generator.IOProgram`.
+
+        The columnar equivalent of :meth:`run`: the loop keeps only the
+        irreducible feedback step (``t(IOi)`` depends on ``rt(IOi-1)``,
+        Table 1) and records each IO straight into a columnar
+        :class:`~repro.flashsim.trace.IOTrace` — no request/completion
+        objects.  Timing semantics are identical to :meth:`run`.
+        """
+        count = len(program)
+        trace = IOTrace(capacity=count)
+        lbas = program.lbas.tolist()
+        sizes = program.sizes.tolist()
+        writes = program.writes.tolist()
+        gaps = program.gaps.tolist()
+        submit_into = self.device.submit_into
+        overhead = self.os_overhead_usec
+        clock = start_at
+        for i in range(count):
+            scheduled = start_at if i == 0 else clock + gaps[i]
+            submit_at = max(clock, scheduled)
+            clock = submit_into(
+                trace, i, lbas[i], sizes[i], writes[i],
+                submit_at + overhead, scheduled,
+            )
+        return trace
+
 
 @dataclass
 class _Process:
@@ -70,8 +103,11 @@ class ParallelHost:
 
     Each process blocks on its own outstanding IO; the device serialises
     service.  The loop picks, among ready processes, the one whose next
-    IO has the earliest effective submission time (ties broken by
-    process index, round-robin fair).
+    IO has the earliest effective submission time; ties always go to the
+    lowest process index (a deterministic total order, *not* round-robin
+    — on a consecutive-timing pattern every process is ready the moment
+    the device frees, and the fixed scan order is what makes runs
+    reproducible).
     """
 
     def __init__(self, device: FlashDevice, os_overhead_usec: float = 0.0) -> None:
@@ -115,6 +151,61 @@ class ParallelHost:
             best.completions.append(completed)
             best.blocked_until = completed.completed_at
             best.next_request = best.feed(completed)
+
+    def run_programs(
+        self, programs: Sequence["IOProgram"], start_at: float = 0.0
+    ) -> list[IOTrace]:
+        """Drive precomputed programs concurrently, one per process.
+
+        The columnar equivalent of :meth:`run`: same event loop, same
+        earliest-submission scan with lowest-index tie-break, but each
+        IO is recorded straight into that process's columnar trace.
+        """
+        states = [_ProgramState(program, start_at) for program in programs]
+        submit_into = self.device.submit_into
+        overhead = self.os_overhead_usec
+        while True:
+            best: _ProgramState | None = None
+            best_time = float("inf")
+            for state in states:
+                if state.position >= state.count:
+                    continue
+                ready_at = max(state.blocked_until, state.scheduled)
+                if ready_at < best_time:
+                    best_time = ready_at
+                    best = state
+            if best is None:
+                return [state.trace for state in states]
+            position = best.position
+            completion = submit_into(
+                best.trace, position, best.lbas[position],
+                best.sizes[position], best.writes[position],
+                best_time + overhead, best.scheduled,
+            )
+            best.blocked_until = completion
+            best.position = position + 1
+            if best.position < best.count:
+                best.scheduled = completion + best.gaps[best.position]
+
+
+class _ProgramState:
+    """Per-process cursor inside :meth:`ParallelHost.run_programs`."""
+
+    __slots__ = (
+        "lbas", "sizes", "writes", "gaps",
+        "count", "position", "blocked_until", "scheduled", "trace",
+    )
+
+    def __init__(self, program: "IOProgram", start_at: float) -> None:
+        self.lbas = program.lbas.tolist()
+        self.sizes = program.sizes.tolist()
+        self.writes = program.writes.tolist()
+        self.gaps = program.gaps.tolist()
+        self.count = len(program)
+        self.position = 0
+        self.blocked_until = start_at
+        self.scheduled = start_at
+        self.trace = IOTrace(capacity=self.count)
 
 
 def feed_from_iterable(requests: Sequence[IORequest]) -> RequestFeed:

@@ -104,7 +104,7 @@ MLC_TIMING = TimingSpec(
 )
 
 
-@dataclass
+@dataclass(slots=True)
 class CostAccumulator:
     """Mutable tally of the flash work done to service one host IO.
 

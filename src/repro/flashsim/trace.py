@@ -1,4 +1,4 @@
-"""Per-IO trace recording.
+"""Per-IO trace recording, column-backed.
 
 The paper's design principle 1 (Section 3.2): *for each run, we measure
 and record the response time for individual IOs*.  :class:`IOTrace` is
@@ -6,6 +6,18 @@ that record — one row per IO with its four defining attributes, the
 measured response time and the physical work performed — plus CSV
 round-tripping so results can be archived and re-analysed (the authors
 published tens of millions of data points this way).
+
+Storage is columnar: one preallocated numpy array per field (geometric
+growth), with cost notes in a sparse ``{row: [note, ...]}`` dict since
+notes are rare.  The hot path appends scalars straight into the arrays
+(:meth:`IOTrace.record`); analysis reads whole columns
+(:meth:`IOTrace.response_times` returns a cached ndarray).  Row access
+stays compatible with the legacy object-backed trace: ``trace[i]`` and
+iteration build :class:`~repro.iotypes.CompletedIO` views on demand,
+and a row view's ``cost.notes`` list is shared with the trace so
+``trace[i].cost.note(...)`` persists.  Pickling packs the columns as
+raw buffers (:func:`_trace_from_packed`), which is what keeps process-
+pool transfers and run-cache entries small.
 """
 
 from __future__ import annotations
@@ -16,7 +28,10 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable, Iterator
 
-from repro.iotypes import CompletedIO, Mode
+import numpy as np
+
+from repro.flashsim.timing import CostAccumulator
+from repro.iotypes import CompletedIO, IORequest, Mode
 
 _FIELDS = (
     "index",
@@ -34,6 +49,72 @@ _FIELDS = (
     "block_erases",
     "notes",
 )
+
+#: column name -> dtype, in packing order (pickle / payload format)
+_COLUMNS = (
+    ("index", np.int64),
+    ("lba", np.int64),
+    ("size", np.int64),
+    ("write", np.bool_),
+    ("scheduled_at", np.float64),
+    ("submitted_at", np.float64),
+    ("started_at", np.float64),
+    ("completed_at", np.float64),
+    ("page_reads", np.int64),
+    ("page_programs", np.int64),
+    ("copy_reads", np.int64),
+    ("copy_programs", np.int64),
+    ("block_erases", np.int64),
+    ("bytes_transferred", np.int64),
+    ("map_misses", np.int64),
+    ("extra_usec", np.float64),
+)
+
+_INT_COLUMNS = frozenset(
+    name for name, dtype in _COLUMNS if dtype is np.int64
+)
+
+
+def _escape_notes(notes: Iterable[str]) -> str:
+    r"""Join cost notes into one CSV field, ``;``-separated.
+
+    ``\`` and ``;`` inside a note are backslash-escaped so a note
+    containing the separator round-trips (the legacy writer corrupted
+    such notes by splitting them on parse)."""
+    return ";".join(
+        note.replace("\\", "\\\\").replace(";", "\\;") for note in notes
+    )
+
+
+def _split_notes(joined: str) -> tuple[str, ...]:
+    """Inverse of :func:`_escape_notes` (backslash-aware split)."""
+    if not joined:
+        return ()
+    notes: list[str] = []
+    current: list[str] = []
+    i = 0
+    n = len(joined)
+    while i < n:
+        char = joined[i]
+        if char == "\\" and i + 1 < n:
+            current.append(joined[i + 1])
+            i += 2
+        elif char == ";":
+            notes.append("".join(current))
+            current = []
+            i += 1
+        else:
+            current.append(char)
+            i += 1
+    notes.append("".join(current))
+    return tuple(notes)
+
+
+def _quote_csv_field(field: str) -> str:
+    """Minimal CSV quoting, byte-compatible with ``csv.writer``."""
+    if any(ch in field for ch in ',"\r\n'):
+        return '"' + field.replace('"', '""') + '"'
+    return field
 
 
 @dataclass(frozen=True)
@@ -57,62 +138,237 @@ class TraceRow:
 
 
 class IOTrace:
-    """An append-only sequence of completed IOs."""
+    """An append-only, column-backed sequence of completed IOs."""
 
-    def __init__(self) -> None:
-        self._ios: list[CompletedIO] = []
+    _MIN_CAPACITY = 64
+
+    def __init__(self, capacity: int = 0) -> None:
+        self._n = 0
+        self._notes: dict[int, list[str]] = {}
+        self._response_cache: np.ndarray | None = None
+        self._allocate(max(int(capacity), 0))
+
+    def _allocate(self, capacity: int) -> None:
+        for name, dtype in _COLUMNS:
+            setattr(self, "_" + name, np.zeros(capacity, dtype=dtype))
+        self._capacity = capacity
+
+    def _grow(self, needed: int) -> None:
+        capacity = max(self._capacity * 2, needed, self._MIN_CAPACITY)
+        if self._capacity == 0:
+            self._allocate(capacity)
+            return
+        for name, dtype in _COLUMNS:
+            old = getattr(self, "_" + name)
+            grown = np.zeros(capacity, dtype=dtype)
+            grown[: self._n] = old[: self._n]
+            setattr(self, "_" + name, grown)
+        self._capacity = capacity
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+
+    def record(
+        self,
+        index: int,
+        lba: int,
+        size: int,
+        write: bool,
+        scheduled_at: float,
+        submitted_at: float,
+        started_at: float,
+        completed_at: float,
+        cost: CostAccumulator,
+    ) -> None:
+        """Append one completed IO as scalars (the hot recording path).
+
+        ``cost`` counters are copied into the columns; its ``notes``
+        list (when non-empty) is stored *by reference*, so later
+        ``cost.note(...)`` calls remain visible through row views.
+        """
+        row = self._n
+        if row >= self._capacity:
+            self._grow(row + 1)
+        self._index[row] = index
+        self._lba[row] = lba
+        self._size[row] = size
+        if write:
+            self._write[row] = True
+        self._scheduled_at[row] = scheduled_at
+        self._submitted_at[row] = submitted_at
+        self._started_at[row] = started_at
+        self._completed_at[row] = completed_at
+        # cost columns are zero-initialised; only store non-zero tallies
+        if cost.page_reads:
+            self._page_reads[row] = cost.page_reads
+        if cost.page_programs:
+            self._page_programs[row] = cost.page_programs
+        if cost.copy_reads:
+            self._copy_reads[row] = cost.copy_reads
+        if cost.copy_programs:
+            self._copy_programs[row] = cost.copy_programs
+        if cost.block_erases:
+            self._block_erases[row] = cost.block_erases
+        if cost.bytes_transferred:
+            self._bytes_transferred[row] = cost.bytes_transferred
+        if cost.map_misses:
+            self._map_misses[row] = cost.map_misses
+        if cost.extra_usec:
+            self._extra_usec[row] = cost.extra_usec
+        if cost.notes:
+            self._notes[row] = cost.notes
+        self._n = row + 1
+        self._response_cache = None
 
     def append(self, completed: CompletedIO) -> None:
-        """Record one completed IO."""
-        self._ios.append(completed)
+        """Record one completed IO (legacy object-based protocol)."""
+        request = completed.request
+        self.record(
+            request.index,
+            request.lba,
+            request.size,
+            request.mode is Mode.WRITE,
+            request.scheduled_at,
+            completed.submitted_at,
+            completed.started_at,
+            completed.completed_at,
+            completed.cost,
+        )
 
     def extend(self, completed: Iterable[CompletedIO]) -> None:
         """Record a batch of completed IOs in order."""
-        self._ios.extend(completed)
+        for item in completed:
+            self.append(item)
+
+    # ------------------------------------------------------------------
+    # row views (legacy-compatible access)
+    # ------------------------------------------------------------------
 
     def __len__(self) -> int:
-        return len(self._ios)
+        return self._n
+
+    def _row(self, i: int) -> CompletedIO:
+        # the notes list is shared with the trace, so mutations through
+        # the view (trace[i].cost.note(...)) persist across accesses
+        cost = CostAccumulator(
+            page_reads=int(self._page_reads[i]),
+            page_programs=int(self._page_programs[i]),
+            copy_reads=int(self._copy_reads[i]),
+            copy_programs=int(self._copy_programs[i]),
+            block_erases=int(self._block_erases[i]),
+            bytes_transferred=int(self._bytes_transferred[i]),
+            map_misses=int(self._map_misses[i]),
+            extra_usec=float(self._extra_usec[i]),
+            notes=self._notes.setdefault(i, []),
+        )
+        request = IORequest(
+            index=int(self._index[i]),
+            lba=int(self._lba[i]),
+            size=int(self._size[i]),
+            mode=Mode.WRITE if self._write[i] else Mode.READ,
+            scheduled_at=float(self._scheduled_at[i]),
+        )
+        return CompletedIO(
+            request=request,
+            submitted_at=float(self._submitted_at[i]),
+            started_at=float(self._started_at[i]),
+            completed_at=float(self._completed_at[i]),
+            cost=cost,
+        )
+
+    def __getitem__(self, item: int | slice) -> CompletedIO | list[CompletedIO]:
+        if isinstance(item, slice):
+            return [self._row(i) for i in range(*item.indices(self._n))]
+        i = item
+        if i < 0:
+            i += self._n
+        if not 0 <= i < self._n:
+            raise IndexError("trace index out of range")
+        return self._row(i)
 
     def __iter__(self) -> Iterator[CompletedIO]:
-        return iter(self._ios)
+        for i in range(self._n):
+            yield self._row(i)
 
-    def __getitem__(self, item: int) -> CompletedIO:
-        return self._ios[item]
+    def response_times(self) -> np.ndarray:
+        """Response times in microseconds, in submission order.
 
-    def response_times(self) -> list[float]:
-        """Response times in microseconds, in submission order."""
-        return [completed.response_usec for completed in self._ios]
+        Returns a cached read-only float64 ndarray (invalidated on
+        append); index it directly instead of copying to a list.
+        """
+        if self._response_cache is None:
+            cache = (
+                self._completed_at[: self._n] - self._submitted_at[: self._n]
+            )
+            cache.flags.writeable = False
+            self._response_cache = cache
+        return self._response_cache
+
+    def column(self, name: str) -> np.ndarray:
+        """A read-only view of one raw column (length == len(self)).
+
+        Column names are the :data:`_COLUMNS` entries, e.g. ``"lba"``,
+        ``"completed_at"``, ``"write"`` (the mode as a bool).
+        """
+        arr = getattr(self, "_" + name)[: self._n]
+        view = arr.view()
+        view.flags.writeable = False
+        return view
 
     # ------------------------------------------------------------------
     # CSV round-trip
     # ------------------------------------------------------------------
 
     def to_csv(self, path: str | Path | None = None) -> str:
-        """Serialise to CSV; write to ``path`` when given."""
-        buffer = io.StringIO()
-        writer = csv.writer(buffer, lineterminator="\n")
-        writer.writerow(_FIELDS)
-        for completed in self._ios:
-            request, cost = completed.request, completed.cost
-            writer.writerow(
-                [
-                    request.index,
-                    request.mode.value,
-                    request.lba,
-                    request.size,
-                    f"{completed.submitted_at:.3f}",
-                    f"{completed.started_at:.3f}",
-                    f"{completed.completed_at:.3f}",
-                    f"{completed.response_usec:.3f}",
-                    cost.page_reads,
-                    cost.page_programs,
-                    cost.copy_reads,
-                    cost.copy_programs,
-                    cost.block_erases,
-                    ";".join(cost.notes),
-                ]
-            )
-        text = buffer.getvalue()
+        """Serialise to CSV; write to ``path`` when given.
+
+        Columns are formatted vectorised (whole-column number
+        formatting, one join per row); the output is byte-identical to
+        the legacy row-by-row ``csv.writer`` for traces whose notes
+        contain no CSV- or separator-special characters.
+        """
+        n = self._n
+        lines = [",".join(_FIELDS)]
+        if n:
+            int_cols = [
+                [str(v) for v in self._index[:n].tolist()],
+                [str(v) for v in self._lba[:n].tolist()],
+                [str(v) for v in self._size[:n].tolist()],
+            ]
+            modes = [
+                "write" if w else "read" for w in self._write[:n].tolist()
+            ]
+            submitted = self._submitted_at[:n]
+            completed = self._completed_at[:n]
+            float_cols = [
+                ["%.3f" % v for v in submitted.tolist()],
+                ["%.3f" % v for v in self._started_at[:n].tolist()],
+                ["%.3f" % v for v in completed.tolist()],
+                ["%.3f" % v for v in (completed - submitted).tolist()],
+            ]
+            cost_cols = [
+                [str(v) for v in self._page_reads[:n].tolist()],
+                [str(v) for v in self._page_programs[:n].tolist()],
+                [str(v) for v in self._copy_reads[:n].tolist()],
+                [str(v) for v in self._copy_programs[:n].tolist()],
+                [str(v) for v in self._block_erases[:n].tolist()],
+            ]
+            notes = [""] * n
+            for row, tags in self._notes.items():
+                if tags and row < n:
+                    notes[row] = _quote_csv_field(_escape_notes(tags))
+            for row_fields in zip(
+                int_cols[0],
+                modes,
+                int_cols[1],
+                int_cols[2],
+                *float_cols,
+                *cost_cols,
+                notes,
+            ):
+                lines.append(",".join(row_fields))
+        text = "\n".join(lines) + "\n"
         if path is not None:
             Path(path).write_text(text)
         return text
@@ -138,14 +394,166 @@ class IOTrace:
                     copy_reads=int(record["copy_reads"]),
                     copy_programs=int(record["copy_programs"]),
                     block_erases=int(record["block_erases"]),
-                    # to_csv joins the cost notes with ";"; split them
-                    # back so a parsed row mirrors CostAccumulator.notes
-                    notes=tuple(record["notes"].split(";")) if record["notes"] else (),
+                    notes=_split_notes(record["notes"]),
                 )
             )
         return rows
+
+    @classmethod
+    def from_csv(cls, text: str) -> "IOTrace":
+        """Rebuild a columnar trace from :meth:`to_csv` output.
+
+        The CSV schema is the archival one: it carries neither the
+        scheduled time nor the transfer/map-miss/extra cost fields, so
+        those columns come back as ``scheduled_at = submitted_at`` and
+        zeros respectively.
+        """
+        reader = csv.reader(io.StringIO(text))
+        header = next(reader, None)
+        if header != list(_FIELDS):
+            raise ValueError("not an IOTrace CSV (unexpected header)")
+        records = [row for row in reader if row]
+        trace = cls(capacity=len(records))
+        n = len(records)
+        if not n:
+            return trace
+        columns = list(zip(*records))
+        trace._index[:n] = np.array([int(v) for v in columns[0]], np.int64)
+        trace._write[:n] = np.array(
+            [v == "write" for v in columns[1]], np.bool_
+        )
+        trace._lba[:n] = np.array([int(v) for v in columns[2]], np.int64)
+        trace._size[:n] = np.array([int(v) for v in columns[3]], np.int64)
+        submitted = np.array([float(v) for v in columns[4]], np.float64)
+        trace._submitted_at[:n] = submitted
+        trace._scheduled_at[:n] = submitted
+        trace._started_at[:n] = np.array(
+            [float(v) for v in columns[5]], np.float64
+        )
+        trace._completed_at[:n] = np.array(
+            [float(v) for v in columns[6]], np.float64
+        )
+        for position, name in enumerate(
+            ("page_reads", "page_programs", "copy_reads",
+             "copy_programs", "block_erases"),
+            start=8,
+        ):
+            getattr(trace, "_" + name)[:n] = np.array(
+                [int(v) for v in columns[position]], np.int64
+            )
+        for row, joined in enumerate(columns[13]):
+            if joined:
+                trace._notes[row] = list(_split_notes(joined))
+        trace._n = n
+        return trace
 
     @staticmethod
     def load_csv(path: str | Path) -> list[TraceRow]:
         """Load an archived trace from disk."""
         return IOTrace.parse_csv(Path(path).read_text())
+
+    # ------------------------------------------------------------------
+    # columnar interchange (JSON payloads, pickle)
+    # ------------------------------------------------------------------
+
+    def to_payload(self) -> dict:
+        """JSON-safe columnar form: ``{column: [values...], notes: ...}``.
+
+        Used by campaign archives and the run cache; ~10x smaller than a
+        per-row object dump and rebuilt without per-IO Python work.
+        """
+        n = self._n
+        payload: dict = {
+            name: getattr(self, "_" + name)[:n].tolist()
+            for name, _ in _COLUMNS
+        }
+        notes = {
+            str(row): list(tags)
+            for row, tags in self._notes.items()
+            if tags and row < n
+        }
+        if notes:
+            payload["notes"] = notes
+        return payload
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "IOTrace":
+        """Rebuild a trace from :meth:`to_payload` output."""
+        n = len(payload["index"])
+        trace = cls(capacity=n)
+        for name, dtype in _COLUMNS:
+            getattr(trace, "_" + name)[:n] = np.asarray(
+                payload[name], dtype=dtype
+            )
+        for row, tags in payload.get("notes", {}).items():
+            trace._notes[int(row)] = list(tags)
+        trace._n = n
+        return trace
+
+    def __reduce__(self):
+        """Pickle as packed raw column buffers (slim IPC format).
+
+        All-zero columns (most cost counters, most of the time) are
+        elided entirely; integer columns are losslessly downcast to the
+        narrowest dtype that holds their range.  Timestamps stay
+        float64, so the round-trip is bit-exact.
+        """
+        n = self._n
+        packed = tuple(
+            _pack_column(getattr(self, "_" + name)[:n]) for name, _ in _COLUMNS
+        )
+        notes = {
+            row: list(tags)
+            for row, tags in self._notes.items()
+            if tags and row < n
+        }
+        return (_trace_from_packed, (n, packed, notes))
+
+
+def _pack_column(column: np.ndarray) -> tuple[str, bytes] | None:
+    """One column as ``(dtype_str, raw_bytes)``; ``None`` if all-zero."""
+    if column.size == 0 or not column.any():
+        return None
+    if column.dtype.kind == "i":
+        lo, hi = int(column.min()), int(column.max())
+        for narrow in (np.int8, np.int16, np.int32):
+            info = np.iinfo(narrow)
+            if info.min <= lo and hi <= info.max:
+                return (np.dtype(narrow).str, column.astype(narrow).tobytes())
+    return (column.dtype.str, column.tobytes())
+
+
+def _trace_from_packed(
+    n: int,
+    packed: tuple[tuple[str, bytes] | None, ...],
+    notes: dict[int, list[str]],
+) -> IOTrace:
+    """Unpickle helper: rebuild an :class:`IOTrace` from packed columns."""
+    trace = IOTrace(capacity=n)
+    for (name, dtype), entry in zip(_COLUMNS, packed):
+        if entry is None:
+            continue  # freshly allocated columns are already zero
+        dtype_str, buffer = entry
+        getattr(trace, "_" + name)[:n] = np.frombuffer(
+            buffer, dtype=np.dtype(dtype_str)
+        )
+    trace._notes = dict(notes)
+    trace._n = n
+    return trace
+
+
+def pickled_sizes(trace: IOTrace) -> tuple[int, int]:
+    """Pickle sizes of ``trace``: ``(columnar, object_graph)`` bytes.
+
+    The first is the trace as pickled today (packed column buffers via
+    ``__reduce__``); the second is the legacy object-graph format (a
+    list of :class:`~repro.iotypes.CompletedIO`).  The run cache and
+    the hot-path benchmark report the difference as the IPC saving.
+    """
+    import pickle
+
+    columnar = len(pickle.dumps(trace, protocol=pickle.HIGHEST_PROTOCOL))
+    object_graph = len(
+        pickle.dumps(list(trace), protocol=pickle.HIGHEST_PROTOCOL)
+    )
+    return columnar, object_graph

@@ -38,7 +38,7 @@ class Mode(enum.Enum):
         return self.value
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class IORequest:
     """One IO of a pattern, before execution.
 
@@ -59,7 +59,7 @@ class IORequest:
             raise ValueError("LBA must be non-negative")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CompletedIO:
     """One executed IO with its measured timings.
 

@@ -102,3 +102,39 @@ def test_results_by_experiment_round_trips():
     assert set(results) == {"order/SR", "order/SW"}
     for result in results.values():
         assert all(row.mean_usec > 0 for row in result.rows)
+
+
+def test_keep_traces_round_trips_through_cache(tmp_path):
+    from repro.core.archive import payload_has_traces
+
+    cells = order_cells()
+    first = CampaignExecutor(jobs=1, cache=tmp_path / "cache", keep_traces=True)
+    ran = first.execute(cells)
+    assert all(payload_has_traces(outcome.payload) for outcome in ran)
+    rows = ran[0].result().rows
+    assert rows[0].traces and len(rows[0].traces[0]) == cells[0].io_count
+    # the cache credited the columnar format's pickle saving
+    assert first.cache.trace_bytes_saved > 0
+
+    second = CampaignExecutor(jobs=1, cache=tmp_path / "cache", keep_traces=True)
+    served = second.execute(cells)
+    assert [outcome.cached for outcome in served] == [True, True]
+    assert [outcome.payload for outcome in served] == [
+        outcome.payload for outcome in ran
+    ]
+
+
+def test_stats_only_entries_do_not_satisfy_trace_campaigns(tmp_path):
+    cells = order_cells()
+    stats_only = CampaignExecutor(jobs=1, cache=tmp_path / "cache")
+    stats_only.execute(cells)
+
+    # the stats-only entries are misses for a trace-keeping campaign ...
+    tracing = CampaignExecutor(jobs=1, cache=tmp_path / "cache", keep_traces=True)
+    upgraded = tracing.execute(cells)
+    assert [outcome.cached for outcome in upgraded] == [False, False]
+
+    # ... and the upgraded (trace-carrying) entries satisfy both kinds
+    third = CampaignExecutor(jobs=1, cache=tmp_path / "cache")
+    served = third.execute(cells)
+    assert [outcome.cached for outcome in served] == [True, True]

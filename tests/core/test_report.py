@@ -82,3 +82,49 @@ def test_json_export_round_trips():
     first = payload["rows"][0]
     assert first["repetitions"][0]["count"] == 4
     assert first["mean_usec"] > 0
+
+
+def test_render_mix_run_marks_component_without_stats():
+    from repro.core.patterns import MixSpec
+    from repro.core.report import render_mix_run
+    from repro.core.runner import execute_mix
+
+    device = make_device()
+    primary = PatternSpec(
+        mode=Mode.READ, location=LocationKind.SEQUENTIAL, io_size=4 * KIB,
+        io_count=16,
+    )
+    secondary = PatternSpec(
+        mode=Mode.WRITE, location=LocationKind.SEQUENTIAL, io_size=4 * KIB,
+        io_count=16, target_offset=512 * KIB,
+    )
+    mix = MixSpec(
+        primary=primary, secondary=secondary, ratio=7, io_count=15, io_ignore=8
+    )
+    run = execute_mix(device, mix)
+    text = render_mix_run(run)
+    assert "overall" in text and "primary" in text and "secondary" in text
+    assert "n/a" in text
+    assert "io_ignore" in text  # the footnote explains the n/a rows
+
+
+def test_render_mix_run_full_components_have_no_footnote():
+    from repro.core.patterns import MixSpec
+    from repro.core.report import render_mix_run
+    from repro.core.runner import execute_mix
+
+    device = make_device()
+    primary = PatternSpec(
+        mode=Mode.READ, location=LocationKind.SEQUENTIAL, io_size=4 * KIB,
+        io_count=16,
+    )
+    secondary = PatternSpec(
+        mode=Mode.WRITE, location=LocationKind.SEQUENTIAL, io_size=4 * KIB,
+        io_count=16, target_offset=512 * KIB,
+    )
+    run = execute_mix(
+        device, MixSpec(primary=primary, secondary=secondary, ratio=3, io_count=32)
+    )
+    text = render_mix_run(run)
+    assert "n/a" not in text
+    assert "24" in text and "8" in text  # per-component IO counts

@@ -157,3 +157,24 @@ def test_parallel_mix_requires_disjoint_components():
         ParallelMixSpec((overlapping, sw_spec(io_count=12)))
     with pytest.raises(PatternError):
         ParallelMixSpec((overlapping,))
+
+
+def test_mix_component_without_measured_ios_has_none_stats():
+    """A component with every IO inside the warm-up cut gets no summary
+    (None), not a silent copy of the overall statistics."""
+    device = make_device()
+    primary = PatternSpec(
+        mode=Mode.READ, location=LocationKind.SEQUENTIAL, io_size=16 * KIB,
+        io_count=16,
+    )
+    secondary = sw_spec(io_count=16, target_offset=512 * KIB)
+    # ratio=7, io_count=15: the only secondary IO is index 7, which the
+    # warm-up cut (io_ignore=8) discards entirely
+    mix = MixSpec(
+        primary=primary, secondary=secondary, ratio=7, io_count=15, io_ignore=8
+    )
+    result = execute_mix(device, mix)
+    assert result.secondary_stats is None
+    assert result.primary_stats is not None
+    assert result.primary_stats.count == 7
+    assert result.stats.count == 7

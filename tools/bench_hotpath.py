@@ -36,10 +36,19 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
+from repro.core.engine import Engine  # noqa: E402
 from repro.core.methodology import enforce_random_state  # noqa: E402
-from repro.core.patterns import baselines  # noqa: E402
+from repro.core.patterns import (  # noqa: E402
+    LocationKind,
+    MixSpec,
+    ParallelSpec,
+    PatternSpec,
+    baselines,
+)
 from repro.core.runner import execute  # noqa: E402
 from repro.flashsim.profiles import build_device, profile_names  # noqa: E402
+from repro.flashsim.trace import pickled_sizes  # noqa: E402
+from repro.iotypes import Mode  # noqa: E402
 from repro.units import KIB, MIB  # noqa: E402
 
 #: baseline-pattern order follows the paper's Table 3 columns
@@ -117,6 +126,84 @@ def bench_profile(
     return {key: _entry(sec, ios[key]) for key, sec in best_sec.items()}
 
 
+def _run_specs(logical_bytes: int, io_count: int) -> dict[str, object]:
+    """The measured-run workloads: four baselines, a mix, a parallel."""
+    specs = baselines(
+        io_size=16 * KIB,
+        io_count=io_count,
+        random_target_size=logical_bytes // 2,
+        sequential_target_size=logical_bytes // 2,
+    )
+    half = logical_bytes // 2
+    primary = PatternSpec(
+        mode=Mode.READ,
+        location=LocationKind.RANDOM,
+        io_size=16 * KIB,
+        io_count=io_count,
+        target_size=half,
+    )
+    secondary = PatternSpec(
+        mode=Mode.WRITE,
+        location=LocationKind.SEQUENTIAL,
+        io_size=16 * KIB,
+        io_count=io_count,
+        target_offset=half,
+        target_size=half,
+    )
+    workloads: dict[str, object] = {
+        f"run_{name}": specs[name] for name in PATTERN_ORDER
+    }
+    workloads["run_mix"] = MixSpec(
+        primary=primary, secondary=secondary, ratio=3, io_count=io_count
+    )
+    workloads["run_parallel"] = ParallelSpec(
+        base=specs["SW"], parallel_degree=4
+    )
+    return workloads
+
+
+def bench_measured_runs(
+    profile: str, logical_bytes: int, io_count: int, columnar: bool, repeat: int
+) -> dict[str, dict[str, float]]:
+    """Best-of-``repeat`` timings of the engine's recording pipeline.
+
+    The same six workloads run through ``Engine(columnar=True)`` (the
+    default columnar recording path, plain keys) and
+    ``Engine(columnar=False)`` (the legacy per-IO object path,
+    ``/object`` suffix — mirroring the batch/scalar convention of the
+    device-level workloads).  Both produce bit-identical traces, so the
+    ratio is pure recording overhead.
+
+    The columnar pass also reports the trace IPC sizes once per profile
+    (``{profile}/trace_pickle``): pickle bytes of one RW run's trace in
+    the packed columnar format vs the legacy object graph.
+    """
+    suffix = "" if columnar else "/object"
+    best_sec: dict[str, float] = {}
+    sizes: tuple[int, int] | None = None
+    workloads = _run_specs(logical_bytes, io_count)
+    for _ in range(max(repeat, 1)):
+        device = build_device(profile, logical_bytes=logical_bytes)
+        engine = Engine(device, columnar=columnar)
+        for name, spec in workloads.items():
+            start = time.perf_counter()
+            run = engine.run(spec)
+            elapsed = time.perf_counter() - start
+            key = f"{profile}/{name}{suffix}"
+            best_sec[key] = min(best_sec.get(key, elapsed), elapsed)
+            if columnar and name == "run_RW" and sizes is None:
+                sizes = pickled_sizes(run.trace)
+    results = {key: _entry(sec, io_count) for key, sec in best_sec.items()}
+    if sizes is not None:
+        columnar_bytes, object_bytes = sizes
+        results[f"{profile}/trace_pickle"] = {
+            "columnar_bytes": columnar_bytes,
+            "object_graph_bytes": object_bytes,
+            "reduction": round(object_bytes / max(columnar_bytes, 1), 2),
+        }
+    return results
+
+
 def check_baseline(
     results: dict[str, dict[str, float]], baseline_path: Path
 ) -> list[str]:
@@ -125,7 +212,8 @@ def check_baseline(
     regressions = []
     for workload, entry in results.items():
         old = baseline.get(workload)
-        if not old or "usec_per_io" not in old:
+        # stat-only entries (e.g. trace_pickle sizes) carry no timing
+        if not old or "usec_per_io" not in old or "usec_per_io" not in entry:
             continue
         if entry["usec_per_io"] > REGRESSION_FACTOR * old["usec_per_io"]:
             regressions.append(
@@ -191,6 +279,14 @@ def main(argv: list[str] | None = None) -> int:
             results.update(
                 bench_profile(profile, logical, io_count, batch, args.repeat)
             )
+        for columnar in (True,) if args.batch_only else (True, False):
+            mode = "columnar" if columnar else "object"
+            print(f"benchmarking {profile} runs ({mode}) ...", flush=True)
+            results.update(
+                bench_measured_runs(
+                    profile, logical, io_count, columnar, args.repeat
+                )
+            )
 
     print(json.dumps(results, indent=2))
     for profile in profiles:
@@ -202,6 +298,21 @@ def main(argv: list[str] | None = None) -> int:
                 / max(results[batch_key]["usec_per_io"], 1e-9)
             )
             print(f"{profile}: enforce speedup {speedup:.2f}x (scalar/batch)")
+        for name in (*(f"run_{p}" for p in PATTERN_ORDER), "run_mix", "run_parallel"):
+            plain = f"{profile}/{name}"
+            legacy = f"{profile}/{name}/object"
+            if plain in results and legacy in results:
+                speedup = (
+                    results[legacy]["usec_per_io"]
+                    / max(results[plain]["usec_per_io"], 1e-9)
+                )
+                print(f"{profile}: {name} speedup {speedup:.2f}x (object/columnar)")
+        pickle_key = f"{profile}/trace_pickle"
+        if pickle_key in results:
+            print(
+                f"{profile}: trace pickle "
+                f"{results[pickle_key]['reduction']}x smaller (columnar)"
+            )
 
     if args.out:
         args.out.write_text(json.dumps(results, indent=2) + "\n")
