@@ -29,7 +29,7 @@ from repro.core.patterns import MixSpec, ParallelMixSpec, ParallelSpec, PatternS
 from repro.core.stats import RunStats, summarize
 from repro.errors import ExperimentError
 from repro.flashsim.device import FlashDevice
-from repro.flashsim.host import ParallelHost, SyncHost
+from repro.flashsim.host import AsyncHost, ParallelHost, SyncHost
 from repro.flashsim.trace import IOTrace
 from repro.obs import metrics as obs_metrics
 from repro.obs import tracing as obs_tracing
@@ -186,14 +186,28 @@ class Engine:
             before = self.device.metrics() if registry is not None else None
             result = handler(self, spec, at)
         if registry is not None:
-            result.metrics = diff_counts(self.device.metrics(), before)
+            delta = diff_counts(self.device.metrics(), before)
+            result.metrics = delta
             registry.counter("core.engine.runs").inc()
+            _sample_queue_metrics(registry, delta)
         return result
 
     # -- shared plumbing for the built-in executors --------------------
 
     def _trace_sync(self, generator, at: float) -> IOTrace:
-        """Drive one generator through a synchronous host."""
+        """Drive one generator through a host.
+
+        Specs with ``queue_depth > 1`` run through the async queued
+        host regardless of the ``columnar`` flag (queued submission is
+        columnar-only — there is no per-request-object async path);
+        everything else takes the synchronous reference host.
+        """
+        depth = getattr(generator.spec, "queue_depth", 1)
+        if depth > 1:
+            host = AsyncHost(self.device, os_overhead_usec=self.os_overhead_usec)
+            return host.run_program(
+                generator.program(), start_at=at, queue_depth=depth
+            )
         host = SyncHost(self.device, os_overhead_usec=self.os_overhead_usec)
         if self.columnar:
             return host.run_program(generator.program(), start_at=at)
@@ -226,6 +240,34 @@ class Engine:
             measured_chunks.append(np.asarray(responses)[process_spec.io_ignore:])
         result.stats = summarize(np.concatenate(measured_chunks))
         return result
+
+
+#: bucket bounds of the in-flight-depth histogram (depths, not usec)
+QUEUE_DEPTH_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0)
+
+
+def _sample_queue_metrics(registry, delta: dict[str, float]) -> None:
+    """Fold a run's queue-counter delta into registry instruments.
+
+    The occupancy gauge is the run's mean in-flight depth while the
+    queue was active; the depth histogram counts submissions by the
+    depth they observed.  Both derive from the device's monotone
+    ``device.queue.*`` samplers, so the per-IO hot path carries no
+    instrumentation and a disabled registry costs nothing.
+    """
+    active = delta.get("device.queue.active_usec", 0.0)
+    if active > 0.0:
+        depth_time = delta.get("device.queue.depth_time_usec", 0.0)
+        registry.gauge("device.queue.occupancy").set(depth_time / active)
+    histogram = None
+    for name, value in delta.items():
+        if not name.startswith("device.queue.at_depth_"):
+            continue
+        if histogram is None:
+            histogram = registry.histogram(
+                "device.queue.inflight_depth", QUEUE_DEPTH_BUCKETS
+            )
+        histogram.observe_many(float(name.rsplit("_", 1)[1]), int(value))
 
 
 def reseed(spec: Any, bump: int) -> Any:
@@ -307,6 +349,7 @@ def _reseed_mix(spec: MixSpec, bump: int) -> MixSpec:
         ratio=spec.ratio,
         io_count=spec.io_count,
         io_ignore=spec.io_ignore,
+        queue_depth=spec.queue_depth,
     )
 
 
@@ -357,6 +400,7 @@ __all__ = [
     "MixRun",
     "ParallelMixRun",
     "ParallelRun",
+    "QUEUE_DEPTH_BUCKETS",
     "Run",
     "reseed",
     "rest_device",

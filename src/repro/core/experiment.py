@@ -137,6 +137,24 @@ def execute_spec(device: FlashDevice, spec: SpecLike):
     return Engine(device).run(spec)
 
 
+def _trace_iops(trace: IOTrace) -> float:
+    """Simulated IOPS of one run: IO count over the trace makespan.
+
+    The makespan runs from the first submission to the last completion,
+    so overlapped (queued) IOs raise the rate while a synchronous run
+    reproduces ``1e6 / mean_response`` exactly.
+    """
+    n = len(trace)
+    if n == 0:
+        return 0.0
+    submitted = trace.column("submitted_at")
+    completed = trace.column("completed_at")
+    makespan = float(completed.max() - submitted.min())
+    if makespan <= 0.0:
+        return 0.0
+    return n / makespan * 1e6
+
+
 def run_experiment(
     device: FlashDevice,
     experiment: Experiment,
@@ -161,16 +179,20 @@ def run_experiment(
     for value in experiment.values:
         base_spec = experiment.spec_for(value)
         row = ExperimentRow(value=value, label=getattr(base_spec, "label", ""))
+        iops_samples: list[float] = []
         for repetition in range(repetitions):
             spec = _reseed(base_spec, repetition)
             if allocate is not None:
                 spec = allocate(spec)
             run = execute_spec(device, spec)
             row.stats.append(run.stats)
-            if keep_traces:
-                trace = getattr(run, "trace", None)
-                if trace is not None:
+            trace = getattr(run, "trace", None)
+            if trace is not None:
+                iops_samples.append(_trace_iops(trace))
+                if keep_traces:
                     row.traces.append(trace)
             rest_device(device, pause_usec)
+        if iops_samples:
+            row.extra["sim_iops"] = sum(iops_samples) / len(iops_samples)
         result.rows.append(row)
     return result

@@ -34,8 +34,10 @@ class IOProgram:
     ``lbas``/``sizes`` are int64, ``writes`` bool, ``gaps`` float64 (the
     pause inserted before each IO, after the previous completion);
     ``components`` is the issuing mix component per IO (int8) or
-    ``None`` for basic patterns.  Submit times are *not* here — they
-    depend on measured response times and are computed by the host loop.
+    ``None`` for basic patterns.  ``queue_depth`` carries the spec's
+    requested in-flight depth to the host (1 = synchronous).  Submit
+    times are *not* here — they depend on measured response times and
+    are computed by the host loop.
     """
 
     lbas: np.ndarray
@@ -43,6 +45,7 @@ class IOProgram:
     writes: np.ndarray
     gaps: np.ndarray
     components: np.ndarray | None = None
+    queue_depth: int = 1
 
     def __len__(self) -> int:
         return len(self.lbas)
@@ -76,6 +79,7 @@ class PatternGenerator:
             sizes=np.full(count, spec.io_size, dtype=np.int64),
             writes=np.full(count, spec.mode is Mode.WRITE, dtype=np.bool_),
             gaps=spec.gap_array(count),
+            queue_depth=spec.queue_depth,
         )
         self._lbas = lbas.tolist()
         self._gaps = self._program.gaps.tolist()
@@ -150,6 +154,7 @@ class MixGenerator:
             writes=writes,
             gaps=np.zeros(count, dtype=np.float64),
             components=which,
+            queue_depth=spec.queue_depth,
         )
         self._lbas = lbas.tolist()
         self._sizes = sizes.tolist()

@@ -9,6 +9,9 @@ baseline patterns, all sharing one varying parameter:
 4. **Partitioning** (Partitions) 9. **Bursts** (Burst)
 5. **Order** (Incr)
 
+A tenth, **Queue depth** (QueueDepth), extends the paper's synchronous
+host model with NCQ-style in-flight IO.
+
 Builders take the device capacity (patterns must fit the scaled
 devices) and run-control parameters; parameter ranges default to
 tractable subsets of Table 1's full ranges, which are available from
@@ -54,6 +57,9 @@ _TABLE1 = {
     "pause": tuple((1 << k) * 0.1 * MSEC for k in range(9)),
     # [2^0 .. 2^6] x 10 (with Pause fixed, e.g. 100 ms)
     "bursts": tuple((1 << k) * 10 for k in range(7)),
+    # [2^0 .. 2^5] in-flight IOs (extension beyond the paper: the paper's
+    # hosts are synchronous, i.e. QueueDepth = 1)
+    "queue_depth": tuple(1 << k for k in range(6)),
 }
 
 #: the six baseline combinations of the Mix micro-benchmark (Table 1)
@@ -456,7 +462,37 @@ def bursts(
     return MicroBenchmark("bursts", "Burst", experiments)
 
 
-#: registry of the nine micro-benchmark builders
+# ----------------------------------------------------------------------
+# 10. Queue depth (QueueDepth) — extension beyond the paper
+# ----------------------------------------------------------------------
+
+def queue_depth(ctx: BenchContext, depths: Sequence[int] | None = None) -> MicroBenchmark:
+    """Vary the NCQ queue depth over each baseline (extension: the
+    paper's bench runs synchronously, one IO in flight).  At depth 1
+    this reproduces the synchronous reference bit-for-bit; past the
+    device's channel count the response-time curve should flatten."""
+    values = tuple(depths or _TABLE1["queue_depth"])
+
+    def build_for(label: str) -> Callable[[int], PatternSpec]:
+        def build(depth: int) -> PatternSpec:
+            return ctx.baselines()[label].with_(queue_depth=depth)
+
+        return build
+
+    experiments = tuple(
+        Experiment(
+            name=f"queue_depth/{label}",
+            parameter="QueueDepth",
+            values=values,
+            build=build_for(label),
+        )
+        for label in BASELINE_LABELS
+    )
+    return MicroBenchmark("queue_depth", "QueueDepth", experiments)
+
+
+#: registry of the micro-benchmark builders (the paper's nine plus the
+#: queue-depth extension)
 MICROBENCHMARKS: dict[str, Callable[..., MicroBenchmark]] = {
     "granularity": granularity,
     "alignment": alignment,
@@ -467,6 +503,7 @@ MICROBENCHMARKS: dict[str, Callable[..., MicroBenchmark]] = {
     "mix": mix,
     "pause": pause,
     "bursts": bursts,
+    "queue_depth": queue_depth,
 }
 
 

@@ -72,11 +72,14 @@ class PatternSpec:
     pause_usec: float = 0.0
     burst: int = 0
     seed: int = 42
+    queue_depth: int = 1
     label: str = ""
 
     def __post_init__(self) -> None:
         if self.io_size <= 0:
             raise PatternError("io_size must be positive")
+        if self.queue_depth < 1:
+            raise PatternError("queue_depth must be >= 1")
         if self.io_count <= 0:
             raise PatternError("io_count must be positive")
         if not 0 <= self.io_ignore <= self.io_count:
@@ -251,11 +254,19 @@ class MixSpec:
     ratio: int = 1
     io_count: int = 0  # 0 -> primary.io_count + secondary.io_count
     io_ignore: int = 0
+    queue_depth: int = 1
     label: str = ""
 
     def __post_init__(self) -> None:
         if self.ratio < 1:
             raise PatternError("mix ratio must be >= 1")
+        if self.queue_depth < 1:
+            raise PatternError("queue_depth must be >= 1")
+        if self.primary.queue_depth != 1 or self.secondary.queue_depth != 1:
+            raise PatternError(
+                "mix components must leave queue_depth at 1; set it on "
+                "the MixSpec itself"
+            )
         if self.io_count == 0:
             object.__setattr__(
                 self, "io_count", self.primary.io_count + self.secondary.io_count
@@ -299,6 +310,11 @@ class ParallelSpec:
     def __post_init__(self) -> None:
         if self.parallel_degree < 1:
             raise PatternError("parallel_degree must be >= 1")
+        if self.base.queue_depth != 1:
+            raise PatternError(
+                "parallel patterns model synchronous processes; the base "
+                "spec's queue_depth must stay 1"
+            )
         if self.base.target_size % self.parallel_degree != 0:
             raise PatternError("target_size must divide by parallel_degree")
         share = self.base.target_size // self.parallel_degree
@@ -348,6 +364,11 @@ class ParallelMixSpec:
     def __post_init__(self) -> None:
         if len(self.components) < 2:
             raise PatternError("a parallel mix needs at least two components")
+        if any(component.queue_depth != 1 for component in self.components):
+            raise PatternError(
+                "parallel patterns model synchronous processes; component "
+                "queue_depth must stay 1"
+            )
         spans = sorted(component.footprint for component in self.components)
         for (__, end_a), (start_b, __) in zip(spans, spans[1:]):
             if start_b < end_a:
@@ -374,6 +395,7 @@ def baselines(
     random_target_size: int = 0,
     sequential_target_size: int = 0,
     seed: int = 42,
+    queue_depth: int = 1,
 ) -> dict[str, PatternSpec]:
     """Build SR, RR, SW, RW baseline specs.
 
@@ -382,12 +404,20 @@ def baselines(
     to the sequential footprint.  ``sequential_target_size`` (same
     default) bounds the sequential patterns, which wrap modulo the target
     when ``io_count`` exceeds it (needed on small devices).
+    ``queue_depth`` > 1 runs the baselines through the async queued host
+    (an extension beyond the paper's synchronous methodology).
     """
     rnd_size = random_target_size or io_count * io_size
     seq_size = min(
         sequential_target_size or io_count * io_size, io_count * io_size
     )
-    common = dict(io_size=io_size, io_count=io_count, target_offset=target_offset, seed=seed)
+    common = dict(
+        io_size=io_size,
+        io_count=io_count,
+        target_offset=target_offset,
+        seed=seed,
+        queue_depth=queue_depth,
+    )
     return {
         "SR": PatternSpec(
             mode=Mode.READ,

@@ -58,6 +58,11 @@ class SnapshotError(ReproError):
     (mismatched geometry, FTL family or cache configuration)."""
 
 
+class QueueError(ReproError):
+    """The device command queue was misused (submission past the
+    configured queue depth, or a completion popped from an empty queue)."""
+
+
 class PatternError(ReproError):
     """An IO pattern specification is invalid (violates Table 1 rules)."""
 

@@ -11,10 +11,17 @@ subpackage builds those black boxes: NAND chips
 """
 
 from repro.flashsim.cache import WriteBackCache
-from repro.flashsim.chip import ERASED, FlashChip
-from repro.flashsim.clock import SimClock
+from repro.flashsim.chip import ERASED, ChannelSet, FlashChip
+from repro.flashsim.clock import EventTimeline, SimClock
 from repro.flashsim.controller import Controller, ControllerConfig
-from repro.flashsim.device import BackgroundPolicy, DeviceStats, FlashDevice, NoiseSpec
+from repro.flashsim.device import (
+    BackgroundPolicy,
+    CommandQueue,
+    DeviceStats,
+    FlashDevice,
+    NoiseSpec,
+    QueuedCompletion,
+)
 from repro.flashsim.ftl.base import BaseFTL
 from repro.flashsim.snapshot import DeviceSnapshot
 from repro.flashsim.geometry import Geometry
@@ -25,7 +32,7 @@ from repro.flashsim.power import (
     PowerSpec,
     measure_run_energy,
 )
-from repro.flashsim.host import ParallelHost, SyncHost, feed_from_iterable
+from repro.flashsim.host import AsyncHost, ParallelHost, SyncHost, feed_from_iterable
 from repro.flashsim.profiles import (
     ALL_PROFILES,
     TABLE3_PROFILES,
@@ -46,8 +53,11 @@ from repro.flashsim.wear import (
 
 __all__ = [
     "ALL_PROFILES",
+    "AsyncHost",
     "BackgroundPolicy",
     "BaseFTL",
+    "ChannelSet",
+    "CommandQueue",
     "Controller",
     "ControllerConfig",
     "CostAccumulator",
@@ -56,10 +66,12 @@ __all__ = [
     "DeviceStats",
     "EnergyMeter",
     "ERASED",
+    "EventTimeline",
     "FlashChip",
     "FlashDevice",
     "Geometry",
     "IOTrace",
+    "QueuedCompletion",
     "LifetimeProjection",
     "MLC_POWER",
     "MLC_TIMING",

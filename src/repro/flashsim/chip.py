@@ -367,3 +367,68 @@ class FlashChip:
             "mean": float(counts.mean()),
             "std": float(counts.std()),
         }
+
+
+class ChannelSet:
+    """Per-channel busy horizons for dispatch decisions.
+
+    The controller reaches the flash array over ``count`` independent
+    channels; each tracks until when it is occupied.  Dispatch always
+    picks the channel that frees earliest (lowest index on ties — a
+    deterministic total order, like the hosts' process scan).  One IO
+    still occupies exactly one channel: the *within*-IO overlap across
+    channels and planes is already folded into the
+    :class:`~repro.flashsim.timing.TimingSpec` cost divisor, so the
+    channel set only decides which *queued* IOs overlap each other.
+    """
+
+    __slots__ = ("_busy",)
+
+    def __init__(self, count: int) -> None:
+        if count < 1:
+            raise ValueError("a channel set needs at least one channel")
+        self._busy = [0.0] * count
+
+    def __len__(self) -> int:
+        return len(self._busy)
+
+    def pick(self) -> int:
+        """The channel that frees earliest (lowest index on ties)."""
+        busy = self._busy
+        best = 0
+        best_time = busy[0]
+        for channel in range(1, len(busy)):
+            if busy[channel] < best_time:
+                best_time = busy[channel]
+                best = channel
+        return best
+
+    def free_at(self, channel: int) -> float:
+        """Until when ``channel`` is occupied."""
+        return self._busy[channel]
+
+    def occupy(self, channel: int, until: float) -> None:
+        """Mark ``channel`` busy up to simulated time ``until``."""
+        if until > self._busy[channel]:
+            self._busy[channel] = until
+
+    def earliest_free(self) -> float:
+        """When the least-loaded channel frees."""
+        return min(self._busy)
+
+    def reset(self) -> None:
+        """Clear all occupancy (fresh device / full drain)."""
+        self._busy = [0.0] * len(self._busy)
+
+    def snapshot(self) -> tuple[float, ...]:
+        """Opaque copy of the per-channel horizons."""
+        return tuple(self._busy)
+
+    def restore(self, state: tuple[float, ...]) -> None:
+        """Reset the horizons to a :meth:`snapshot`."""
+        if len(state) != len(self._busy):
+            raise ValueError(
+                f"channel snapshot has {len(state)} channels, device has "
+                f"{len(self._busy)}"
+            )
+        self._busy = list(state)

@@ -9,6 +9,9 @@ reclamation (Section 4.3 / Figure 5 of the paper).
 
 from __future__ import annotations
 
+import heapq
+from typing import Any
+
 
 class SimClock:
     """A monotone simulated clock in microseconds.
@@ -61,3 +64,58 @@ class SimClock:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"SimClock(now={self._now:.1f}us)"
+
+
+class EventTimeline:
+    """A future-event queue driving a :class:`SimClock`.
+
+    The queued-device model schedules completion events at known future
+    times; :meth:`pop` removes the earliest one and advances the clock
+    to it.  Events at the same instant resolve in *schedule order* (a
+    monotone sequence number breaks ties), which is what makes
+    out-of-order completions deterministic: two IOs finishing on
+    different channels at the same microsecond always pop in submission
+    order.
+    """
+
+    __slots__ = ("clock", "_heap", "_seq")
+
+    def __init__(self, clock: SimClock | None = None) -> None:
+        self.clock = clock if clock is not None else SimClock()
+        self._heap: list[tuple[float, int, Any]] = []
+        self._seq = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def schedule(self, when: float, payload: Any) -> None:
+        """Queue ``payload`` to fire at simulated time ``when``."""
+        heapq.heappush(self._heap, (when, self._seq, payload))
+        self._seq += 1
+
+    def peek_time(self) -> float | None:
+        """Time of the earliest pending event (``None`` when empty)."""
+        return self._heap[0][0] if self._heap else None
+
+    def pop(self) -> tuple[float, Any]:
+        """Remove the earliest event, advancing the clock to its time."""
+        if not self._heap:
+            raise IndexError("pop from an empty event timeline")
+        when, _seq, payload = heapq.heappop(self._heap)
+        self.clock.advance_to(when)
+        return when, payload
+
+    def snapshot(self) -> tuple:
+        """Opaque copy of the timeline state (snapshot/restore)."""
+        return (self.clock.snapshot(), tuple(self._heap), self._seq)
+
+    def restore(self, state: tuple) -> None:
+        """Reset the timeline to a :meth:`snapshot`."""
+        clock_state, heap, seq = state
+        self.clock.restore(clock_state)
+        self._heap = list(heap)
+        heapq.heapify(self._heap)
+        self._seq = seq
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"EventTimeline(pending={len(self._heap)}, now={self.clock.now:.1f}us)"

@@ -19,13 +19,15 @@ cannot subsidise future foreground work.
 
 from __future__ import annotations
 
+import copy
 import hashlib
 import random
 from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING
 
-from repro.errors import AddressError, SnapshotError
-from repro.flashsim.chip import FlashChip
+from repro.errors import AddressError, QueueError, SnapshotError
+from repro.flashsim.chip import ChannelSet, FlashChip
+from repro.flashsim.clock import EventTimeline
 from repro.flashsim.controller import Controller
 from repro.flashsim.ftl.base import BaseFTL
 from repro.flashsim.geometry import Geometry
@@ -94,6 +96,163 @@ class BackgroundPolicy:
             raise ValueError("read_interference must be >= 1")
 
 
+@dataclass(slots=True)
+class QueuedCompletion:
+    """One in-flight (or just-completed) queued IO.
+
+    ``tag`` is the host's submission index; completions may pop out of
+    submission order, and the tag is how the host re-sorts them into
+    trace rows.  ``channel`` records the dispatch decision for
+    introspection; ``cost`` is the usual physical-work tally.
+    """
+
+    tag: int
+    lba: int
+    size: int
+    write: bool
+    scheduled_at: float
+    submitted_at: float
+    started_at: float
+    completed_at: float
+    channel: int
+    cost: CostAccumulator
+
+
+class CommandQueue:
+    """NCQ-style submission/completion queue of one device.
+
+    Holds up to ``depth`` in-flight IOs as completion events on an
+    :class:`~repro.flashsim.clock.EventTimeline`; completions pop in
+    ``(completed_at, submission order)`` order, so out-of-order channel
+    overlap stays deterministic.  The queue also integrates
+    depth-over-time occupancy counters (monotone, sampled through
+    :meth:`FlashDevice.metrics`): ``depth_time_usec / active_usec`` is
+    the mean in-flight depth while any IO was outstanding, and the
+    ``at_depth_{d}`` counters histogram the depth seen at each
+    submission.
+    """
+
+    __slots__ = (
+        "depth",
+        "timeline",
+        "_last_event",
+        "_depth_time",
+        "_active_time",
+        "_at_depth",
+        "_submitted",
+    )
+
+    def __init__(self, depth: int) -> None:
+        if depth < 1:
+            raise QueueError("queue depth must be >= 1")
+        self.depth = depth
+        self.timeline = EventTimeline()
+        self._last_event = 0.0
+        self._depth_time = 0.0
+        self._active_time = 0.0
+        self._at_depth: dict[int, int] = {}
+        self._submitted = 0
+
+    @property
+    def in_flight(self) -> int:
+        """Number of submitted-but-not-popped IOs."""
+        return len(self.timeline)
+
+    def has_slot(self) -> bool:
+        """Whether another IO may be submitted right now."""
+        return len(self.timeline) < self.depth
+
+    def _advance(self, when: float) -> None:
+        # completions can be observed after later submissions (the host
+        # pops lazily), so a backwards ``when`` is simply not integrated
+        if when <= self._last_event:
+            return
+        pending = len(self.timeline)
+        if pending:
+            elapsed = when - self._last_event
+            self._depth_time += pending * elapsed
+            self._active_time += elapsed
+        self._last_event = when
+
+    def push(self, entry: QueuedCompletion) -> None:
+        """Queue a dispatched IO until its completion is popped."""
+        if not self.has_slot():
+            raise QueueError(
+                f"device queue full ({self.depth} IOs in flight)"
+            )
+        self._advance(entry.submitted_at)
+        self.timeline.schedule(entry.completed_at, entry)
+        pending = len(self.timeline)
+        self._at_depth[pending] = self._at_depth.get(pending, 0) + 1
+        self._submitted += 1
+
+    def peek_time(self) -> float | None:
+        """Completion time of the earliest pending IO (None when idle)."""
+        return self.timeline.peek_time()
+
+    def pop(self) -> QueuedCompletion:
+        """Remove and return the earliest completion."""
+        when = self.timeline.peek_time()
+        if when is None:
+            raise QueueError("no completions pending")
+        self._advance(when)
+        _when, entry = self.timeline.pop()
+        return entry
+
+    def metrics(self) -> dict[str, float]:
+        """Monotone occupancy counters (``device.queue.*`` namespace)."""
+        counts = {
+            "device.queue.submitted": float(self._submitted),
+            "device.queue.depth_time_usec": self._depth_time,
+            "device.queue.active_usec": self._active_time,
+        }
+        for pending, times in self._at_depth.items():
+            counts[f"device.queue.at_depth_{pending}"] = float(times)
+        return counts
+
+    def pending_digest(self) -> tuple:
+        """In-flight IOs as ``(tag, completed_at)`` pairs, event order
+        (part of the device fingerprint)."""
+        return tuple(
+            (entry.tag, when)
+            for when, _seq, entry in sorted(
+                self.timeline._heap, key=lambda item: item[:2]
+            )
+        )
+
+    def reset(self) -> None:
+        """Forget all queue state (fresh device)."""
+        self.timeline = EventTimeline()
+        self._last_event = 0.0
+        self._depth_time = 0.0
+        self._active_time = 0.0
+        self._at_depth = {}
+        self._submitted = 0
+
+    def snapshot(self) -> tuple:
+        """Deep, picklable copy of the queue state."""
+        return (
+            copy.deepcopy(self.timeline.snapshot()),
+            self._last_event,
+            self._depth_time,
+            self._active_time,
+            dict(self._at_depth),
+            self._submitted,
+        )
+
+    def restore(self, state: tuple) -> None:
+        """Reset the queue to a :meth:`snapshot` (copying, so the
+        snapshot stays reusable)."""
+        timeline_state, last, depth_time, active, at_depth, submitted = state
+        self.timeline = EventTimeline()
+        self.timeline.restore(copy.deepcopy(timeline_state))
+        self._last_event = last
+        self._depth_time = depth_time
+        self._active_time = active
+        self._at_depth = dict(at_depth)
+        self._submitted = submitted
+
+
 class FlashDevice:
     """A black-box flash device with the paper's block interface."""
 
@@ -107,7 +266,10 @@ class FlashDevice:
         controller: Controller,
         background: BackgroundPolicy | None = None,
         noise: NoiseSpec | None = None,
+        queue_depth: int = 32,
     ) -> None:
+        if queue_depth < 1:
+            raise QueueError("device queue_depth must be >= 1")
         self.name = name
         self.geometry = geometry
         self.timing = timing
@@ -116,10 +278,13 @@ class FlashDevice:
         self.controller = controller
         self.background = background or BackgroundPolicy()
         self.noise = noise or NoiseSpec()
+        self.queue_depth = queue_depth
         self._noise_rng = random.Random(self.noise.seed)
         self.stats = DeviceStats()
         self._busy_until = 0.0
         self._bg_credit = 0.0
+        self._channels = ChannelSet(timing.channels)
+        self._queue = CommandQueue(queue_depth)
 
     # ------------------------------------------------------------------
     # the block interface
@@ -130,23 +295,34 @@ class FlashDevice:
         """Logical capacity in bytes."""
         return self.geometry.logical_bytes
 
-    def _service(
-        self, lba: int, size: int, write: bool, now: float
-    ) -> tuple[float, float, CostAccumulator]:
-        """Service one IO; returns ``(start, completion, cost)``.
+    def _dispatch(
+        self, lba: int, size: int, write: bool, now: float, overlap: bool
+    ) -> tuple[float, float, CostAccumulator, int]:
+        """Dispatch one IO; returns ``(start, completion, cost, channel)``.
 
-        The single code path behind :meth:`submit` and
-        :meth:`submit_into` — the operation order (queueing, background
-        grants, noise draw, accounting) is identical for both, so the
-        columnar and object-based pipelines evolve device state
+        The single code path behind :meth:`submit`, :meth:`submit_into`
+        and :meth:`submit_async` — the operation order (channel pick,
+        queueing, background grants, noise draw, accounting) is
+        identical for all three, so every pipeline evolves device state
         bit-identically.
+
+        Dispatch always picks the earliest-free channel.  ``overlap``
+        decides the start floor: the synchronous paths serialise on the
+        whole-device busy horizon (one IO in flight, exactly the
+        pre-queue model); the async path serialises only on the chosen
+        channel, which is what lets queued IOs overlap.  At queue depth
+        1 the async host never submits before the previous completion,
+        so both floors collapse to ``now`` and the two models agree
+        bit for bit.
         """
         if not self.geometry.contains(lba, size):
             raise AddressError(
                 f"IO [{lba}, +{size}) outside device capacity "
                 f"{self.geometry.logical_bytes}"
             )
-        start = max(now, self._busy_until)
+        channel = self._channels.pick()
+        floor = self._channels.free_at(channel) if overlap else self._busy_until
+        start = max(now, floor)
         if start > now:
             self.stats.queued_ios += 1
             self.stats.queue_wait_usec += start - now
@@ -171,8 +347,19 @@ class FlashDevice:
             service *= max(0.5, factor)
 
         completion = start + service
-        self._busy_until = completion
+        self._channels.occupy(channel, completion)
+        if completion > self._busy_until:
+            self._busy_until = completion
         self._account(write, size, service, interfered)
+        return start, completion, cost, channel
+
+    def _service(
+        self, lba: int, size: int, write: bool, now: float
+    ) -> tuple[float, float, CostAccumulator]:
+        """Synchronous service (one IO in flight); see :meth:`_dispatch`."""
+        start, completion, cost, _channel = self._dispatch(
+            lba, size, write, now, overlap=False
+        )
         return start, completion, cost
 
     def submit(self, request: IORequest, now: float) -> CompletedIO:
@@ -214,6 +401,74 @@ class FlashDevice:
             index, lba, size, write, scheduled_at, now, start, completion, cost
         )
         return completion
+
+    # ------------------------------------------------------------------
+    # the NCQ interface (submission/completion queue)
+    # ------------------------------------------------------------------
+
+    def submit_async(
+        self,
+        lba: int,
+        size: int,
+        write: bool,
+        now: float,
+        tag: int,
+        scheduled_at: float | None = None,
+    ) -> QueuedCompletion:
+        """Queue one IO without blocking; raises when the queue is full.
+
+        The IO is dispatched immediately (FTL and controller state
+        mutate in submission order — the command queue reorders
+        *completions*, never the logical writes themselves) onto the
+        earliest-free channel, and a completion event is queued for the
+        host to pop.  Returns the in-flight entry; its ``completed_at``
+        is already final, but the host must still
+        :meth:`pop_next_completion` to retire it from the queue.
+        """
+        if not self._queue.has_slot():
+            raise QueueError(
+                f"device queue full ({self.queue_depth} IOs in flight)"
+            )
+        start, completion, cost, channel = self._dispatch(
+            lba, size, write, now, overlap=True
+        )
+        entry = QueuedCompletion(
+            tag=tag,
+            lba=lba,
+            size=size,
+            write=write,
+            scheduled_at=now if scheduled_at is None else scheduled_at,
+            submitted_at=now,
+            started_at=start,
+            completed_at=completion,
+            channel=channel,
+            cost=cost,
+        )
+        self._queue.push(entry)
+        return entry
+
+    def pop_next_completion(self) -> QueuedCompletion:
+        """Block until the earliest queued IO completes and return it.
+
+        Completions pop in ``(completed_at, submission order)`` order;
+        raises :class:`~repro.errors.QueueError` when nothing is in
+        flight.
+        """
+        return self._queue.pop()
+
+    def poll_completions(self, until: float) -> list[QueuedCompletion]:
+        """Pop every queued IO that completes at or before ``until``."""
+        done: list[QueuedCompletion] = []
+        while True:
+            when = self._queue.peek_time()
+            if when is None or when > until:
+                return done
+            done.append(self._queue.pop())
+
+    @property
+    def in_flight(self) -> int:
+        """Number of queued IOs not yet popped by the host."""
+        return self._queue.in_flight
 
     def read(self, lba: int, size: int, now: float = 0.0) -> CompletedIO:
         """Convenience synchronous read (examples / tests)."""
@@ -265,7 +520,15 @@ class FlashDevice:
 
         Used by state enforcement and between experiments when the
         methodology's pause is long enough to rest the device fully.
+        The command queue must be empty: queued IOs belong to a host
+        that has not observed their completions yet, and silently
+        discarding them would corrupt its trace.
         """
+        if self._queue.in_flight:
+            raise QueueError(
+                f"cannot drain with {self._queue.in_flight} IOs in flight; "
+                "pop all completions first"
+            )
         total = CostAccumulator()
         self.controller.flush_cache(total)
         total.add(self.ftl.drain_background())
@@ -300,6 +563,8 @@ class FlashDevice:
             busy_until=self._busy_until,
             bg_credit=self._bg_credit,
             noise_state=self._noise_rng.getstate(),
+            channel_busy=self._channels.snapshot(),
+            queue=self._queue.snapshot(),
         )
 
     def restore(self, state: "DeviceSnapshot") -> None:
@@ -333,6 +598,20 @@ class FlashDevice:
         self._busy_until = state.busy_until
         self._bg_credit = state.bg_credit
         self._noise_rng.setstate(state.noise_state)
+        if state.channel_busy:
+            if len(state.channel_busy) != len(self._channels):
+                raise SnapshotError(
+                    f"snapshot carries {len(state.channel_busy)} channel "
+                    f"horizons but this device has {len(self._channels)} "
+                    "channels"
+                )
+            self._channels.restore(state.channel_busy)
+        else:  # pre-queue snapshot: all channel state folded in busy_until
+            self._channels.reset()
+        if state.queue is not None:
+            self._queue.restore(state.queue)
+        else:
+            self._queue.reset()
 
     def fingerprint(self) -> str:
         """Content hash of the current device state.
@@ -349,6 +628,12 @@ class FlashDevice:
         self.chip.update_digest(hasher)
         self.controller.update_digest(hasher)
         hasher.update(repr((self._busy_until, self._bg_credit)).encode())
+        # per-channel horizons and any still-queued IOs determine future
+        # timing too; the queue's occupancy *counters* are observability,
+        # not state, and stay out (a drained async device fingerprints
+        # identically to its synchronous twin)
+        hasher.update(repr(self._channels.snapshot()).encode())
+        hasher.update(repr(self._queue.pending_digest()).encode())
         return hasher.hexdigest()
 
     # ------------------------------------------------------------------
@@ -390,6 +675,7 @@ class FlashDevice:
             "device.queued_ios": float(self.stats.queued_ios),
             "device.queue_wait_usec": self.stats.queue_wait_usec,
         }
+        counts.update(self._queue.metrics())
         counts.update(self.chip.metrics())
         counts.update(
             (f"ftl.{name}", value) for name, value in self.ftl.metrics().items()

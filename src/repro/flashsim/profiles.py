@@ -76,6 +76,9 @@ class DeviceProfile:
     background: BackgroundPolicy = field(default_factory=BackgroundPolicy)
     noise: NoiseSpec = field(default_factory=NoiseSpec)
     slc: bool = True
+    #: NCQ queue depth the device advertises (1 = no native queueing,
+    #: e.g. USB mass storage; SATA NCQ tops out at 32)
+    queue_depth: int = 32
 
     @property
     def block_size(self) -> int:
@@ -112,6 +115,7 @@ class DeviceProfile:
             controller=controller,
             background=self.background,
             noise=self.noise,
+            queue_depth=self.queue_depth,
         )
 
     def _build_ftl(self, geometry: Geometry, chip: FlashChip) -> BaseFTL:
@@ -332,6 +336,7 @@ KINGSTON_DTHX = DeviceProfile(
     ftl_kind="hybrid",
     hybrid=HybridConfig(seq_log_blocks=8, rnd_log_blocks=64, page_mapped_logs=True),
     slc=False,
+    queue_depth=1,  # USB mass storage: no native command queueing
     **_usb_geometry(pages_per_block=128),
 )
 
@@ -359,6 +364,7 @@ CORSAIR = DeviceProfile(
     ftl_kind="hybrid",
     hybrid=HybridConfig(seq_log_blocks=2, rnd_log_blocks=8, page_mapped_logs=False),
     slc=False,
+    queue_depth=1,  # USB mass storage: no native command queueing
     **_usb_geometry(pages_per_block=64),
 )
 
@@ -385,6 +391,7 @@ TRANSCEND_MODULE = DeviceProfile(
     ftl_kind="hybrid",
     hybrid=HybridConfig(seq_log_blocks=4, rnd_log_blocks=32, page_mapped_logs=True),
     slc=True,
+    queue_depth=4,  # IDE: TCQ-era depth, well below SATA NCQ's 32
     **_usb_geometry(pages_per_block=64),
 )
 
@@ -417,6 +424,7 @@ KINGSTON_DTI = DeviceProfile(
         map_flush_pages=32,
     ),
     slc=False,
+    queue_depth=1,  # USB mass storage: no native command queueing
     **_usb_geometry(pages_per_block=128),
 )
 
@@ -449,6 +457,7 @@ KINGSTON_SD = DeviceProfile(
         map_flush_pages=32,
     ),
     slc=False,
+    queue_depth=1,  # SD: single outstanding command
     **_usb_geometry(pages_per_block=64),
 )
 

@@ -55,6 +55,11 @@ class DeviceSnapshot:
     busy_until: float
     bg_credit: float
     noise_state: tuple
+    #: per-channel busy horizons (empty = pre-queue snapshot, channels
+    #: reset on restore) and the command-queue state (timeline plus
+    #: occupancy counters; ``None`` = pre-queue snapshot, queue reset)
+    channel_busy: tuple = ()
+    queue: tuple | None = None
 
 
 __all__ = ["DeviceSnapshot"]

@@ -26,10 +26,20 @@ class TimingSpec:
     """Latency parameters of one device, all in microseconds.
 
     ``transfer_per_kib`` covers the external interconnect plus the chip
-    bus (serialised, as on a single-channel controller).  ``parallelism``
-    is the effective number of flash operations the controller can overlap
-    (channels x planes actually exploited); flash op time is divided by it
-    for multi-page IOs.
+    bus (serialised, as on a single-channel controller).  The internal
+    parallelism is described by integer ``channels`` (independent flash
+    buses the controller can dispatch on) times ``planes`` (planes
+    exploited per channel).  ``parallelism`` — the effective number of
+    flash operations overlapped within *one* IO — is kept as a derived
+    alias equal to ``channels * planes``: every cost formula divides by
+    it exactly as before, so single-IO service times are unchanged.
+    Queued IOs additionally overlap *across* channels; that occupancy
+    tracking lives in the device's command queue, not here.
+
+    Either specify ``parallelism`` (legacy; ``channels`` is derived as
+    ``parallelism // planes``, which requires an integral ratio) or
+    specify ``channels``/``planes`` explicitly and leave ``parallelism``
+    at its default.
     """
 
     read_page: float = 25.0
@@ -41,6 +51,8 @@ class TimingSpec:
     parallelism: float = 1.0
     copy_parallelism: float = 1.0
     copy_page_extra: float = 0.0
+    channels: int = 0  # 0 -> derived from parallelism / planes
+    planes: int = 1
 
     def __post_init__(self) -> None:
         if min(
@@ -54,6 +66,26 @@ class TimingSpec:
             raise ValueError("timing parameters must be non-negative")
         if self.parallelism < 1.0 or self.copy_parallelism < 1.0:
             raise ValueError("parallelism must be >= 1")
+        if not isinstance(self.planes, int) or self.planes < 1:
+            raise ValueError("planes must be an integer >= 1")
+        if not isinstance(self.channels, int) or self.channels < 0:
+            raise ValueError("channels must be an integer >= 0 (0 = derived)")
+        if self.channels == 0:
+            derived = self.parallelism / self.planes
+            if derived != int(derived) or derived < 1:
+                raise ValueError(
+                    f"parallelism {self.parallelism} does not decompose into "
+                    f"an integral channel count at planes={self.planes}"
+                )
+            object.__setattr__(self, "channels", int(derived))
+        else:
+            effective = float(self.channels * self.planes)
+            if self.parallelism not in (1.0, effective):
+                raise ValueError(
+                    f"parallelism {self.parallelism} conflicts with "
+                    f"channels={self.channels} x planes={self.planes}"
+                )
+            object.__setattr__(self, "parallelism", effective)
 
     # -- convenience composite costs --------------------------------------
 

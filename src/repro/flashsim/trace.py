@@ -221,6 +221,62 @@ class IOTrace:
         self._n = row + 1
         self._response_cache = None
 
+    def record_at(
+        self,
+        row: int,
+        lba: int,
+        size: int,
+        write: bool,
+        scheduled_at: float,
+        submitted_at: float,
+        started_at: float,
+        completed_at: float,
+        cost: CostAccumulator,
+    ) -> None:
+        """Record one completed IO at an explicit ``row``.
+
+        The async host's completions arrive out of submission order;
+        writing each at ``row = submission index`` keeps the trace in
+        submission order regardless of the completion interleaving, so
+        analysis and CSV output are independent of dispatch timing.
+        Each row must be recorded exactly once (columns are
+        zero-initialised, not cleared on re-record).
+        """
+        if row < 0:
+            raise IndexError("trace row must be non-negative")
+        if row >= self._capacity:
+            self._grow(row + 1)
+        if row >= self._n:
+            self._n = row + 1
+        self._index[row] = row
+        self._lba[row] = lba
+        self._size[row] = size
+        if write:
+            self._write[row] = True
+        self._scheduled_at[row] = scheduled_at
+        self._submitted_at[row] = submitted_at
+        self._started_at[row] = started_at
+        self._completed_at[row] = completed_at
+        if cost.page_reads:
+            self._page_reads[row] = cost.page_reads
+        if cost.page_programs:
+            self._page_programs[row] = cost.page_programs
+        if cost.copy_reads:
+            self._copy_reads[row] = cost.copy_reads
+        if cost.copy_programs:
+            self._copy_programs[row] = cost.copy_programs
+        if cost.block_erases:
+            self._block_erases[row] = cost.block_erases
+        if cost.bytes_transferred:
+            self._bytes_transferred[row] = cost.bytes_transferred
+        if cost.map_misses:
+            self._map_misses[row] = cost.map_misses
+        if cost.extra_usec:
+            self._extra_usec[row] = cost.extra_usec
+        if cost.notes:
+            self._notes[row] = cost.notes
+        self._response_cache = None
+
     def append(self, completed: CompletedIO) -> None:
         """Record one completed IO (legacy object-based protocol)."""
         request = completed.request

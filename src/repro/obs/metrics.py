@@ -93,6 +93,25 @@ class Histogram:
         self.total += value
         self.count += 1
 
+    def observe_many(self, value: float, count: int) -> None:
+        """Record ``count`` identical observations in one step.
+
+        Call sites folding pre-aggregated counters (e.g. the device's
+        ``at_depth_{d}`` samples) use this instead of an observe loop.
+        """
+        if count < 0:
+            raise ValueError("observation counts only go up")
+        if count == 0:
+            return
+        for position, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.counts[position] += count
+                break
+        else:
+            self.counts[-1] += count
+        self.total += value * count
+        self.count += count
+
     @property
     def mean(self) -> float:
         """Mean of all observations (0 when empty)."""

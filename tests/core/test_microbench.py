@@ -23,8 +23,8 @@ from repro.units import KIB, MIB, MSEC
 CTX = BenchContext(capacity=32 * MIB, io_size=32 * KIB, io_count=64)
 
 
-def test_registry_has_exactly_nine():
-    assert len(MICROBENCHMARKS) == 9
+def test_registry_has_nine_plus_queue_depth():
+    assert len(MICROBENCHMARKS) == 10
     assert set(MICROBENCHMARKS) == {
         "granularity",
         "alignment",
@@ -35,6 +35,7 @@ def test_registry_has_exactly_nine():
         "mix",
         "pause",
         "bursts",
+        "queue_depth",
     }
 
 
@@ -147,6 +148,19 @@ def test_bursts_fixed_pause_varying_group():
     assert spec.timing is TimingKind.BURST
     assert spec.burst == 20
     assert spec.pause_usec == pytest.approx(100.0 * MSEC)
+
+
+def test_queue_depth_varies_spec_depth():
+    values = table1_values("queue_depth")
+    assert values == (1, 2, 4, 8, 16, 32)
+    bench = build_microbenchmark("queue_depth", CTX)
+    assert len(bench.experiments) == 4
+    experiment = bench.experiment("RR")
+    assert experiment.parameter == "QueueDepth"
+    depths = [experiment.spec_for(v).queue_depth for v in experiment.values]
+    assert depths == list(values)
+    # depth 1 is the synchronous reference pattern, unchanged otherwise
+    assert experiment.spec_for(1) == CTX.baselines()["RR"]
 
 
 def test_context_io_ignore_propagates():

@@ -1,0 +1,231 @@
+"""The queued host and NCQ device interface past depth 1.
+
+Depth-1 bit-equivalence lives in ``tests/core/test_async_equivalence``;
+this module covers what only exists *above* depth 1: channel overlap,
+out-of-order completions landing in submission-order trace rows,
+determinism across repeated runs, the paced-pattern recurrence, and the
+queue's error edges (overflow, drain with IOs in flight).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.generator import IOProgram, PatternGenerator
+from repro.core.patterns import PatternSpec, TimingKind, baselines
+from repro.errors import QueueError
+from repro.flashsim.host import AsyncHost, ParallelHost, SyncHost
+from repro.flashsim.profiles import build_device
+from repro.flashsim.timing import TimingSpec
+from repro.units import KIB, MIB
+
+from ..conftest import make_device
+
+#: a four-channel timing spec for the small conftest geometry
+FOUR_CHANNELS = TimingSpec(parallelism=4.0)
+
+
+def _program(lbas, sizes, writes, gaps=None) -> IOProgram:
+    count = len(lbas)
+    return IOProgram(
+        lbas=np.asarray(lbas, dtype=np.int64),
+        sizes=np.asarray(sizes, dtype=np.int64),
+        writes=np.asarray(writes, dtype=np.bool_),
+        gaps=(
+            np.zeros(count, dtype=np.float64)
+            if gaps is None
+            else np.asarray(gaps, dtype=np.float64)
+        ),
+    )
+
+
+def _read_program(count: int, io_size: int = 4 * KIB) -> IOProgram:
+    return _program(
+        lbas=[(i * io_size) % (1 * MIB) for i in range(count)],
+        sizes=[io_size] * count,
+        writes=[False] * count,
+    )
+
+
+def test_queued_reads_overlap_across_channels():
+    """At depth 4 on a four-channel device the run's makespan shrinks
+    toward 1/4 of the synchronous one."""
+    sync_device = make_device(timing=FOUR_CHANNELS)
+    async_device = make_device(timing=FOUR_CHANNELS)
+    program = _read_program(32)
+    sync_trace = SyncHost(sync_device).run_program(program)
+    async_trace = AsyncHost(async_device).run_program(program, queue_depth=4)
+    sync_span = float(sync_trace.column("completed_at").max())
+    async_span = float(async_trace.column("completed_at").max())
+    assert async_span < sync_span
+    # reads are uniform, so four channels should cut close to 4x
+    assert async_span < 0.35 * sync_span
+    assert async_device.in_flight == 0
+
+
+def test_out_of_order_completions_land_in_submission_order():
+    """A slow write followed by fast reads completes out of order; the
+    trace must still be row-per-submission-index."""
+    device = make_device(timing=FOUR_CHANNELS)
+    page = device.geometry.page_size
+    program = _program(
+        lbas=[0, 8 * page, 16 * page, 24 * page],
+        sizes=[16 * page, page, page, page],
+        writes=[True, False, False, False],
+    )
+    trace = AsyncHost(device).run_program(program, queue_depth=4)
+    completed = trace.column("completed_at")
+    # the big write (row 0) outlives at least one of the later reads
+    assert completed[0] > completed[1:].min()
+    assert list(trace.column("index")) == [0, 1, 2, 3]
+    submitted = trace.column("submitted_at")
+    assert (np.diff(submitted) >= 0).all()
+    # row columns mirror the program, not the completion interleaving
+    assert list(trace.column("lba")) == list(program.lbas)
+    assert list(trace.column("write")) == list(program.writes)
+
+
+def test_repeated_queued_runs_identical():
+    """Same program, fresh identical devices: byte-identical traces and
+    equal fingerprints run after run."""
+    spec = baselines(io_size=16 * KIB, io_count=64)["RR"]
+    results = []
+    for _ in range(2):
+        device = build_device("memoright", logical_bytes=4 * MIB)
+        trace = AsyncHost(device).run_program(
+            PatternGenerator(spec).program(), queue_depth=8
+        )
+        results.append((trace.to_csv(), device.fingerprint()))
+    assert results[0] == results[1]
+
+
+def test_paced_pattern_stays_synchronous_at_any_depth():
+    """Every positive gap waits on the previous completion, so a Pause
+    pattern produces the synchronous trace even at depth 8."""
+    spec = baselines(io_size=16 * KIB, io_count=48)["RW"].with_(
+        timing=TimingKind.PAUSE, pause_usec=500.0
+    )
+    sync_device = build_device("memoright", logical_bytes=4 * MIB)
+    async_device = build_device("memoright", logical_bytes=4 * MIB)
+    sync_trace = SyncHost(sync_device).run_program(
+        PatternGenerator(spec).program()
+    )
+    async_trace = AsyncHost(async_device).run_program(
+        PatternGenerator(spec).program(), queue_depth=8
+    )
+    assert sync_trace.to_csv() == async_trace.to_csv()
+    assert sync_device.fingerprint() == async_device.fingerprint()
+
+
+def test_burst_pattern_overlaps_only_within_bursts():
+    """Burst gaps separate groups; IOs inside a group overlap, so a
+    queued burst run finishes earlier but keeps the group boundaries."""
+    spec = baselines(io_size=16 * KIB, io_count=32)["RR"].with_(
+        timing=TimingKind.BURST, pause_usec=10_000.0, burst=8
+    )
+    sync_device = build_device("memoright", logical_bytes=4 * MIB)
+    async_device = build_device("memoright", logical_bytes=4 * MIB)
+    sync_trace = SyncHost(sync_device).run_program(
+        PatternGenerator(spec).program()
+    )
+    async_trace = AsyncHost(async_device).run_program(
+        PatternGenerator(spec).program(), queue_depth=8
+    )
+    async_span = float(async_trace.column("completed_at").max())
+    sync_span = float(sync_trace.column("completed_at").max())
+    assert async_span < sync_span
+    # the inter-burst pauses dominate: both runs still pay 3 full gaps
+    assert async_span > 3 * spec.pause_usec
+
+
+def test_submit_past_queue_depth_raises():
+    device = make_device(timing=FOUR_CHANNELS)
+    device.queue_depth = 2
+    device._queue.depth = 2
+    page = device.geometry.page_size
+    device.submit_async(0, page, False, now=0.0, tag=0)
+    device.submit_async(page, page, False, now=0.0, tag=1)
+    with pytest.raises(QueueError):
+        device.submit_async(2 * page, page, False, now=0.0, tag=2)
+
+
+def test_drain_with_inflight_ios_raises():
+    device = make_device(timing=FOUR_CHANNELS)
+    device.submit_async(0, device.geometry.page_size, False, now=0.0, tag=0)
+    with pytest.raises(QueueError):
+        device.drain()
+    device.pop_next_completion()
+    device.drain()  # empty queue drains fine
+
+
+def test_poll_completions_respects_horizon():
+    device = make_device(timing=FOUR_CHANNELS)
+    page = device.geometry.page_size
+    first = device.submit_async(0, page, False, now=0.0, tag=0)
+    second = device.submit_async(page, 4 * page, False, now=0.0, tag=1)
+    assert first.completed_at < second.completed_at
+    early = device.poll_completions(first.completed_at)
+    assert [entry.tag for entry in early] == [0]
+    rest = device.poll_completions(second.completed_at)
+    assert [entry.tag for entry in rest] == [1]
+    assert device.in_flight == 0
+
+
+def test_pop_empty_queue_raises():
+    device = make_device(timing=FOUR_CHANNELS)
+    with pytest.raises(QueueError):
+        device.pop_next_completion()
+
+
+def test_snapshot_restore_preserves_inflight_queue():
+    """A snapshot with queued IOs restores them; fingerprints track the
+    pending set."""
+    device = make_device(timing=FOUR_CHANNELS)
+    page = device.geometry.page_size
+    device.submit_async(0, page, False, now=0.0, tag=0)
+    device.submit_async(page, page, False, now=0.0, tag=1)
+    snap = device.snapshot()
+    fp_pending = device.fingerprint()
+    device.pop_next_completion()
+    device.pop_next_completion()
+    assert device.fingerprint() != fp_pending
+    device.restore(snap)
+    assert device.in_flight == 2
+    assert device.fingerprint() == fp_pending
+    tags = [device.pop_next_completion().tag for _ in range(2)]
+    assert tags == [0, 1]
+
+
+def test_queue_occupancy_counters_monotone():
+    device = make_device(timing=FOUR_CHANNELS)
+    program = _read_program(16)
+    AsyncHost(device).run_program(program, queue_depth=4)
+    counts = device.metrics()
+    assert counts["device.queue.submitted"] == 16.0
+    assert counts["device.queue.active_usec"] > 0.0
+    # mean in-flight depth while active must land in (1, depth]
+    occupancy = (
+        counts["device.queue.depth_time_usec"]
+        / counts["device.queue.active_usec"]
+    )
+    assert 1.0 < occupancy <= 4.0
+    assert counts["device.queue.at_depth_4"] > 0.0
+
+
+def test_parallel_host_unaffected_by_queue_plumbing():
+    """ParallelHost still runs the synchronous single-queue model, and
+    repeated runs stay deterministic."""
+    spec = baselines(io_size=16 * KIB, io_count=24)["SW"]
+    fingerprints = []
+    for _ in range(2):
+        device = build_device("memoright", logical_bytes=4 * MIB)
+        host = ParallelHost(device)
+        programs = [
+            PatternGenerator(spec.with_(seed=spec.seed + p)).program()
+            for p in range(3)
+        ]
+        traces = host.run_programs(programs)
+        assert all(len(t) == 24 for t in traces)
+        fingerprints.append(device.fingerprint())
+    assert fingerprints[0] == fingerprints[1]

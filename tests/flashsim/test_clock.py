@@ -47,3 +47,66 @@ def test_negative_start_rejected():
         SimClock(start=-1.0)
     with pytest.raises(ValueError):
         SimClock().reset(-1.0)
+
+
+# ----------------------------------------------------------------------
+# EventTimeline
+# ----------------------------------------------------------------------
+
+def test_timeline_pops_in_time_order():
+    from repro.flashsim.clock import EventTimeline
+
+    timeline = EventTimeline()
+    timeline.schedule(30.0, "c")
+    timeline.schedule(10.0, "a")
+    timeline.schedule(20.0, "b")
+    assert timeline.peek_time() == 10.0
+    assert [timeline.pop() for _ in range(3)] == [
+        (10.0, "a"), (20.0, "b"), (30.0, "c"),
+    ]
+    assert timeline.peek_time() is None
+    assert len(timeline) == 0
+
+
+def test_timeline_ties_break_by_schedule_order():
+    from repro.flashsim.clock import EventTimeline
+
+    timeline = EventTimeline()
+    timeline.schedule(5.0, "first")
+    timeline.schedule(5.0, "second")
+    assert timeline.pop() == (5.0, "first")
+    assert timeline.pop() == (5.0, "second")
+
+
+def test_timeline_pop_advances_clock():
+    from repro.flashsim.clock import EventTimeline
+
+    timeline = EventTimeline()
+    timeline.schedule(42.0, "x")
+    timeline.pop()
+    assert timeline.clock.now == 42.0
+
+
+def test_timeline_pop_empty_raises():
+    from repro.flashsim.clock import EventTimeline
+
+    with pytest.raises(IndexError):
+        EventTimeline().pop()
+
+
+def test_timeline_snapshot_restore_round_trips():
+    from repro.flashsim.clock import EventTimeline
+
+    timeline = EventTimeline()
+    timeline.schedule(10.0, "a")
+    timeline.schedule(20.0, "b")
+    state = timeline.snapshot()
+    timeline.pop()
+    restored = EventTimeline()
+    restored.restore(state)
+    assert len(restored) == 2
+    assert restored.pop() == (10.0, "a")
+    # tie-break sequencing continues past the restored events
+    restored.schedule(20.0, "later")
+    assert restored.pop() == (20.0, "b")
+    assert restored.pop() == (20.0, "later")

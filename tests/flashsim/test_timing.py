@@ -104,3 +104,56 @@ def test_note_records_tags():
     cost = CostAccumulator()
     cost.note("full-merge")
     assert cost.notes == ["full-merge"]
+
+
+# ----------------------------------------------------------------------
+# channels / planes decomposition
+# ----------------------------------------------------------------------
+
+def test_channels_derived_from_parallelism():
+    timing = TimingSpec(parallelism=16.0)
+    assert timing.channels == 16
+    assert timing.planes == 1
+
+
+def test_channels_derived_with_planes():
+    timing = TimingSpec(parallelism=16.0, planes=2)
+    assert timing.channels == 8
+
+
+def test_explicit_channels_set_parallelism_alias():
+    timing = TimingSpec(channels=4, planes=2)
+    assert timing.parallelism == 8.0
+    # cost formulas divide by the alias exactly as before
+    legacy = TimingSpec(parallelism=8.0)
+    assert timing.read_pages(16) == legacy.read_pages(16)
+    assert timing.program_pages(16) == legacy.program_pages(16)
+
+
+def test_conflicting_channels_and_parallelism_rejected():
+    with pytest.raises(ValueError):
+        TimingSpec(parallelism=16.0, channels=4, planes=2)
+
+
+def test_non_integral_channel_decomposition_rejected():
+    with pytest.raises(ValueError):
+        TimingSpec(parallelism=6.0, planes=4)
+    with pytest.raises(ValueError):
+        TimingSpec(parallelism=2.5)
+
+
+def test_channel_and_plane_bounds_validated():
+    with pytest.raises(ValueError):
+        TimingSpec(planes=0)
+    with pytest.raises(ValueError):
+        TimingSpec(channels=-1)
+    with pytest.raises(ValueError):
+        TimingSpec(channels=2.0)  # must be a true integer
+
+
+def test_builtin_profiles_decompose_integrally():
+    from repro.flashsim.profiles import ALL_PROFILES
+
+    for profile in ALL_PROFILES:
+        timing = profile.timing
+        assert timing.channels * timing.planes == timing.parallelism

@@ -31,6 +31,7 @@ SMALL_VALUES = {
     "mix": {"ratios": (2,)},
     "pause": {"pauses_usec": (0.5 * MSEC,)},
     "bursts": {"burst_sizes": (4,), "pause_usec": 10.0 * MSEC},
+    "queue_depth": {"depths": (1, 4)},
 }
 
 

@@ -201,3 +201,58 @@ def test_merge_counts_skips_none():
         "a": 3.0,
         "b": 3.0,
     }
+
+
+# ----------------------------------------------------------------------
+# observe_many and the engine's queue-occupancy sampling
+# ----------------------------------------------------------------------
+
+def test_histogram_observe_many_matches_loop():
+    bounds = (1.0, 2.0, 4.0)
+    bulk = Histogram(bounds)
+    loop = Histogram(bounds)
+    bulk.observe_many(2.0, 5)
+    bulk.observe_many(8.0, 2)
+    for _ in range(5):
+        loop.observe(2.0)
+    for _ in range(2):
+        loop.observe(8.0)
+    assert bulk.counts == loop.counts
+    assert bulk.total == loop.total
+    assert bulk.count == loop.count
+
+
+def test_histogram_observe_many_edge_counts():
+    histogram = Histogram((1.0,))
+    histogram.observe_many(1.0, 0)  # no-op
+    assert histogram.count == 0
+    with pytest.raises(ValueError):
+        histogram.observe_many(1.0, -1)
+
+
+def test_engine_samples_queue_occupancy():
+    """A queued engine run fills the occupancy gauge and the in-flight
+    depth histogram; a synchronous run leaves them untouched."""
+    from repro.core.engine import Engine
+    from repro.core.patterns import baselines
+    from repro.flashsim.profiles import build_device
+    from repro.units import KIB, MIB
+
+    spec = baselines(io_size=16 * KIB, io_count=32)["RR"]
+    registry = install(MetricsRegistry())
+    try:
+        Engine(build_device("memoright", logical_bytes=4 * MIB)).run(spec)
+        snap = registry.snapshot()
+        assert "device.queue.occupancy" not in snap.gauges
+        assert "device.queue.inflight_depth" not in snap.histograms
+
+        Engine(build_device("memoright", logical_bytes=4 * MIB)).run(
+            spec.with_(queue_depth=8)
+        )
+        snap = registry.snapshot()
+        occupancy = snap.gauges["device.queue.occupancy"]
+        assert 1.0 < occupancy <= 8.0
+        histogram = snap.histograms["device.queue.inflight_depth"]
+        assert histogram.count == 32  # one depth sample per submission
+    finally:
+        uninstall()

@@ -7,7 +7,11 @@ two phases that dominate real campaign time:
 * **enforce**: random-state enforcement (random sector-aligned writes
   covering the whole device, Section 4.1 methodology), the workload the
   vectorized run kernel targets;
-* **SR/RR/SW/RW**: the four baseline patterns of Section 3.1.
+* **SR/RR/SW/RW**: the four baseline patterns of Section 3.1;
+* **run_RR_qd{1,4,32}**: a random-read sweep over NCQ queue depths
+  through the engine's queued host; each entry also carries the
+  *simulated* ``device_iops``, which should scale with depth up to the
+  profile's channel count.
 
 Each workload is timed twice per profile: once with the batch paths on
 (the default) and once forced through the scalar per-page reference
@@ -46,7 +50,11 @@ from repro.core.patterns import (  # noqa: E402
     baselines,
 )
 from repro.core.runner import execute  # noqa: E402
-from repro.flashsim.profiles import build_device, profile_names  # noqa: E402
+from repro.flashsim.profiles import (  # noqa: E402
+    build_device,
+    get_profile,
+    profile_names,
+)
 from repro.flashsim.trace import pickled_sizes  # noqa: E402
 from repro.iotypes import Mode  # noqa: E402
 from repro.units import KIB, MIB  # noqa: E402
@@ -204,6 +212,53 @@ def bench_measured_runs(
     return results
 
 
+#: queue depths of the NCQ sweep (1 = the synchronous reference)
+QUEUE_DEPTHS = (1, 4, 32)
+
+
+def bench_queue_depths(
+    profile: str, logical_bytes: int, io_count: int, repeat: int
+) -> dict[str, dict[str, float]]:
+    """Best-of-``repeat`` timings of a random-read run per queue depth.
+
+    Each depth runs the same RR spec through the engine on a fresh
+    device (``run_RR_qd1`` is the synchronous reference; deeper runs
+    take the queued host).  Besides the usual host-side throughput
+    numbers, each entry reports the *simulated* ``device_iops`` — IO
+    count over the run's makespan — which is where channel-level overlap
+    shows: on a multi-channel profile it should scale with depth up to
+    the channel count.
+    """
+    spec = baselines(
+        io_size=16 * KIB,
+        io_count=io_count,
+        random_target_size=logical_bytes,
+    )["RR"]
+    best_sec: dict[str, float] = {}
+    sim_iops: dict[str, float] = {}
+    for _ in range(max(repeat, 1)):
+        for depth in QUEUE_DEPTHS:
+            device = build_device(profile, logical_bytes=logical_bytes)
+            engine = Engine(device)
+            start = time.perf_counter()
+            run = engine.run(spec.with_(queue_depth=depth))
+            elapsed = time.perf_counter() - start
+            key = f"{profile}/run_RR_qd{depth}"
+            best_sec[key] = min(best_sec.get(key, elapsed), elapsed)
+            trace = run.trace
+            makespan = float(
+                trace.column("completed_at").max()
+                - trace.column("submitted_at").min()
+            )
+            sim_iops[key] = io_count / makespan * 1e6 if makespan > 0 else 0.0
+    results = {}
+    for key, sec in best_sec.items():
+        entry = _entry(sec, io_count)
+        entry["device_iops"] = round(sim_iops[key], 1)
+        results[key] = entry
+    return results
+
+
 def check_baseline(
     results: dict[str, dict[str, float]], baseline_path: Path
 ) -> list[str]:
@@ -287,6 +342,10 @@ def main(argv: list[str] | None = None) -> int:
                     profile, logical, io_count, columnar, args.repeat
                 )
             )
+        print(f"benchmarking {profile} queue depths ...", flush=True)
+        results.update(
+            bench_queue_depths(profile, logical, io_count, args.repeat)
+        )
 
     print(json.dumps(results, indent=2))
     for profile in profiles:
@@ -312,6 +371,19 @@ def main(argv: list[str] | None = None) -> int:
             print(
                 f"{profile}: trace pickle "
                 f"{results[pickle_key]['reduction']}x smaller (columnar)"
+            )
+        qd_low = f"{profile}/run_RR_qd{QUEUE_DEPTHS[0]}"
+        qd_high = f"{profile}/run_RR_qd{QUEUE_DEPTHS[-1]}"
+        if qd_low in results and qd_high in results:
+            channels = get_profile(profile).timing.channels
+            scaling = (
+                results[qd_high]["device_iops"]
+                / max(results[qd_low]["device_iops"], 1e-9)
+            )
+            print(
+                f"{profile}: queued RR scaling "
+                f"{scaling:.2f}x at qd{QUEUE_DEPTHS[-1]} "
+                f"({channels} channels)"
             )
 
     if args.out:
