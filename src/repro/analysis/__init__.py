@@ -1,6 +1,13 @@
 """``repro.analysis`` — result analysis: Table 3 derivation, device
 classification, design-hint verification and ASCII figure plotting."""
 
+from repro.analysis.attribution import (
+    attribution_observations,
+    attribution_table,
+    inject_device_lanes,
+    outcome_component_totals,
+    render_attribution_report,
+)
 from repro.analysis.classify import (
     Classification,
     DeviceTier,
@@ -24,14 +31,19 @@ __all__ = [
     "DeviceTier",
     "HintResult",
     "Match",
+    "attribution_observations",
+    "attribution_table",
     "campaign_report",
     "classify",
     "evaluate_hints",
     "fingerprint",
     "identify",
+    "inject_device_lanes",
+    "outcome_component_totals",
     "plot_series",
     "plot_trace",
     "price_performance_note",
+    "render_attribution_report",
     "render_table3",
     "summarize_device",
     "write_campaign_report",

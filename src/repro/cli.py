@@ -339,7 +339,7 @@ def _run_campaign(args: argparse.Namespace) -> int:
     from repro.core.executor import merge_outcome_metrics
     from repro.obs import metrics as obs_metrics
     from repro.obs import tracing as obs_tracing
-    from repro.obs.progress import metrics_table
+    from repro.obs.progress import histogram_table, metrics_table
 
     profiles = [name.strip() for name in args.device.split(",") if name.strip()]
     capacity = parse_size(args.capacity) if args.capacity else None
@@ -348,9 +348,11 @@ def _run_campaign(args: argparse.Namespace) -> int:
         cache=args.cache or None,
         enforce=not args.skip_state,
         enforce_seed=97,
+        attribution=args.attribution,
     )
     registry = obs_metrics.install() if args.metrics else None
     tracer = obs_tracing.install() if args.trace else None
+    all_outcomes = []
     try:
         for profile in profiles:
             cells = plan_cells(
@@ -366,6 +368,7 @@ def _run_campaign(args: argparse.Namespace) -> int:
             outcomes = executor.execute(
                 cells, status=reporter.status, progress=reporter.cell_done
             )
+            all_outcomes.extend(outcomes)
             cached = sum(1 for outcome in outcomes if outcome.cached)
             label = args.label if len(profiles) == 1 else f"{args.label}-{profile}"
             campaign = Campaign(
@@ -408,9 +411,28 @@ def _run_campaign(args: argparse.Namespace) -> int:
             }
             if core:
                 print(metrics_table(core, title="executor metrics"))
+            if snapshot.histograms:
+                print(
+                    histogram_table(
+                        snapshot.histograms, title="latency percentiles"
+                    )
+                )
+        if args.attribution:
+            from repro.analysis import render_attribution_report
+
+            report = render_attribution_report(all_outcomes)
+            print(report)
+            if args.attribution_out:
+                Path(args.attribution_out).write_text(report + "\n")
+                print(f"attribution report written to {args.attribution_out}")
     finally:
         if args.trace and tracer is not None:
             obs_tracing.uninstall()
+            if args.attribution and all_outcomes:
+                from repro.analysis import inject_device_lanes
+
+                injected = inject_device_lanes(tracer, all_outcomes)
+                _log.info("injected %d device-lane event(s)", injected)
             tracer.write(args.trace)
             _log.info("trace written to %s", args.trace)
         if args.metrics:
@@ -597,6 +619,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace", default="",
         help="record campaign/cell/run spans and write Chrome trace-event "
              "JSON to this path (load in Perfetto or chrome://tracing)",
+    )
+    campaign_parser.add_argument(
+        "--attribution", action="store_true",
+        help="attach a flight recorder to every cell: traces gain exact "
+             "per-IO latency-attribution columns, a campaign-end "
+             "attribution table is printed, and --trace gains simulated "
+             "device-time lanes",
+    )
+    campaign_parser.add_argument(
+        "--attribution-out", default="",
+        help="also write the attribution report to this path",
     )
     campaign_parser.add_argument(
         "--profile", nargs="?", const="", default=None, metavar="STATS",

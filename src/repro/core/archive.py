@@ -134,6 +134,24 @@ def payload_has_traces(payload: dict) -> bool:
     return any("traces" in row for row in payload.get("rows", ()))
 
 
+def payload_has_attribution(payload: dict) -> bool:
+    """Whether a payload's traces carry latency-attribution columns.
+
+    True only when every trace in the payload is attributed — a cache
+    entry written by a non-attribution campaign must not satisfy an
+    attribution campaign's hit.
+    """
+    traces = [
+        trace_payload
+        for row in payload.get("rows", ())
+        for trace_payload in row.get("traces", ())
+    ]
+    # an empty trace carries no attribution columns by construction
+    return bool(traces) and all(
+        "attribution" in t or not t.get("submitted_at") for t in traces
+    )
+
+
 def result_from_payload(name: str, payload: dict) -> ExperimentResult:
     """Rebuild an experiment result from :func:`result_to_payload` output.
 

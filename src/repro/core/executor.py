@@ -36,6 +36,7 @@ from pathlib import Path
 from typing import Callable, Sequence
 
 from repro.core.archive import (
+    payload_has_attribution,
     payload_has_traces,
     result_from_payload,
     result_to_payload,
@@ -67,11 +68,15 @@ class Observe:
 
     ``traces`` asks the cell to keep and return its per-IO traces
     (columnar payloads inside the result) rather than statistics only.
+    ``attribution`` additionally attaches a flight recorder to the cell
+    device so every trace carries per-IO latency-attribution columns
+    (implies ``traces``).
     """
 
     metrics: bool = False
     tracing: bool = False
     traces: bool = False
+    attribution: bool = False
 
 
 #: the default: no observability channels recorded
@@ -175,7 +180,10 @@ def _cell_experiment(cell: CampaignCell, capacity: int) -> Experiment:
 
 
 def _run_cell_body(
-    cell: CampaignCell, snapshot: DeviceSnapshot, keep_traces: bool = False
+    cell: CampaignCell,
+    snapshot: DeviceSnapshot,
+    keep_traces: bool = False,
+    attribution: bool = False,
 ) -> dict:
     """Execute one cell; returns an envelope of payload + observability.
 
@@ -196,6 +204,10 @@ def _run_cell_body(
     ):
         device = build_device(cell.profile, logical_bytes=cell.capacity)
         device.restore(snapshot)
+        if attribution:
+            from repro.flashsim.recorder import FlightRecorder
+
+            device.attach_recorder(FlightRecorder())
         before = device.metrics() if registry is not None else None
         experiment = _cell_experiment(cell, device.capacity)
         allocator = TargetAllocator(device.capacity, device.geometry.block_size)
@@ -256,7 +268,12 @@ def _execute_cell_remote(
     tracer = obs_tracing.Tracer() if observe.tracing else None
     registry = obs_metrics.MetricsRegistry() if observe.metrics else None
     with obs_tracing.installed(tracer), obs_metrics.installed(registry):
-        envelope = _run_cell_body(cell, snapshot, keep_traces=observe.traces)
+        envelope = _run_cell_body(
+            cell,
+            snapshot,
+            keep_traces=observe.traces,
+            attribution=observe.attribution,
+        )
     envelope["spans"] = (
         [span.to_payload() for span in tracer.spans] if tracer is not None else []
     )
@@ -323,6 +340,7 @@ class RunCache:
         key: str,
         cell: CampaignCell | None = None,
         require_traces: bool = False,
+        require_attribution: bool = False,
     ) -> dict | None:
         """The whole memoized entry for ``key``, or None on a miss.
 
@@ -330,7 +348,9 @@ class RunCache:
         account on a hit: every hit avoids re-simulating the cell's IO
         volume (io_count x io_size per repetition).  With
         ``require_traces``, an entry stored without per-IO traces does
-        not satisfy a trace-keeping campaign and counts as a miss.
+        not satisfy a trace-keeping campaign and counts as a miss;
+        ``require_attribution`` further requires the traces to carry
+        latency-attribution columns.
         """
         path = self._path(key)
         try:
@@ -342,6 +362,11 @@ class RunCache:
             self.misses += 1
             return None
         if require_traces and not payload_has_traces(entry.get("payload", {})):
+            self.misses += 1
+            return None
+        if require_attribution and not payload_has_attribution(
+            entry.get("payload", {})
+        ):
             self.misses += 1
             return None
         self.hits += 1
@@ -422,7 +447,10 @@ class CampaignExecutor:
 
     ``keep_traces`` makes cells keep and return their per-IO traces
     (columnar payloads); cache entries stored without traces then no
-    longer satisfy a hit and are re-run.
+    longer satisfy a hit and are re-run.  ``attribution`` attaches a
+    flight recorder to every cell device so the traces carry exact
+    per-IO latency-attribution columns (implies ``keep_traces``; cache
+    entries without attribution are likewise re-run).
     """
 
     def __init__(
@@ -433,6 +461,7 @@ class CampaignExecutor:
         enforce_seed: int = 97,
         state_pool: StatePool | None = None,
         keep_traces: bool = False,
+        attribution: bool = False,
     ) -> None:
         if jobs < 1:
             raise ExperimentError("jobs must be >= 1")
@@ -440,7 +469,8 @@ class CampaignExecutor:
         self.cache = RunCache(cache) if isinstance(cache, (str, Path)) else cache
         self.enforce = enforce
         self.enforce_seed = enforce_seed
-        self.keep_traces = keep_traces
+        self.attribution = attribution
+        self.keep_traces = keep_traces or attribution
         self._pool = state_pool or StatePool()
 
     def prepare(self, profile: str, capacity: int | None):
@@ -477,6 +507,7 @@ class CampaignExecutor:
             metrics=registry is not None,
             tracing=tracer is not None,
             traces=self.keep_traces,
+            attribution=self.attribution,
         )
         total = len(cells)
         done = 0
@@ -529,7 +560,10 @@ class CampaignExecutor:
                     digest = self.cache.spec_digest(cell, capacity)
                     key = self.cache.key(cell, fingerprint, digest)
                     entry = self.cache.get_entry(
-                        key, cell, require_traces=self.keep_traces
+                        key,
+                        cell,
+                        require_traces=self.keep_traces,
+                        require_attribution=self.attribution,
                     )
                     if entry is not None:
                         outcome = CellOutcome(
@@ -555,7 +589,10 @@ class CampaignExecutor:
                         cell,
                         key,
                         _run_cell_body(
-                            cell, snapshot, keep_traces=self.keep_traces
+                            cell,
+                            snapshot,
+                            keep_traces=self.keep_traces,
+                            attribution=self.attribution,
                         ),
                     )
             else:

@@ -42,8 +42,15 @@ from repro.flashsim.profiles import (
     profile_names,
     scaled_profile,
 )
+from repro.flashsim.recorder import (
+    COMPONENTS,
+    FlightRecorder,
+    IOEvent,
+    events_from_trace,
+    summarize_components,
+)
 from repro.flashsim.timing import MLC_TIMING, SLC_TIMING, CostAccumulator, TimingSpec
-from repro.flashsim.trace import IOTrace, TraceRow, pickled_sizes
+from repro.flashsim.trace import ATTRIBUTION_COLUMNS, IOTrace, TraceRow, pickled_sizes
 from repro.flashsim.wear import (
     LifetimeProjection,
     WearReport,
@@ -53,9 +60,11 @@ from repro.flashsim.wear import (
 
 __all__ = [
     "ALL_PROFILES",
+    "ATTRIBUTION_COLUMNS",
     "AsyncHost",
     "BackgroundPolicy",
     "BaseFTL",
+    "COMPONENTS",
     "ChannelSet",
     "CommandQueue",
     "Controller",
@@ -69,7 +78,9 @@ __all__ = [
     "EventTimeline",
     "FlashChip",
     "FlashDevice",
+    "FlightRecorder",
     "Geometry",
+    "IOEvent",
     "IOTrace",
     "QueuedCompletion",
     "LifetimeProjection",
@@ -88,6 +99,7 @@ __all__ = [
     "WearReport",
     "WriteBackCache",
     "build_device",
+    "events_from_trace",
     "feed_from_iterable",
     "get_profile",
     "profile_names",
@@ -95,5 +107,6 @@ __all__ = [
     "pickled_sizes",
     "project_lifetime",
     "scaled_profile",
+    "summarize_components",
     "wear_report",
 ]

@@ -163,8 +163,10 @@ class WriteBackCache:
         destaged = 0
         if not self.over_capacity():
             return 0
+        sub = cost.begin_scope()
         while self._dirty_pages > self.low_pages and self._groups:
-            destaged += self._destage_lru(ftl, cost)
+            destaged += self._destage_lru(ftl, sub)
+        cost.end_scope("cache", sub)
         return destaged
 
     def _destage_lru(self, ftl: BaseFTL, cost: CostAccumulator) -> int:
@@ -181,8 +183,10 @@ class WriteBackCache:
     def flush(self, ftl: BaseFTL, cost: CostAccumulator) -> int:
         """Destage everything (used between runs and by device.drain)."""
         destaged = 0
+        sub = cost.begin_scope()
         while self._groups:
-            destaged += self._destage_lru(ftl, cost)
+            destaged += self._destage_lru(ftl, sub)
+        cost.end_scope("cache", sub)
         if self._dirty_pages != 0:
             raise FTLError("cache accounting error: dirty pages after flush")
         return destaged

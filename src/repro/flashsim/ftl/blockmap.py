@@ -229,40 +229,44 @@ class BlockMapFTL(BaseFTL):
         physical block into the replacement (filling gaps with filler)."""
         old = int(self._data_map[rep.lblock])
         old_end = self.chip.write_point(old) if old >= 0 else 0
+        sub = cost.begin_scope()
         for offset in range(start, end):
             if offset < old_end:
                 token = self.chip.read(old, offset)
-                cost.copy_reads += 1
+                sub.copy_reads += 1
             else:
                 token = ERASED
             self.chip.program(
                 rep.pblock, offset, token if token != ERASED else FILLER_TOKEN
             )
-            cost.copy_programs += 1
+            sub.copy_programs += 1
+        cost.end_scope("merge", sub)
 
     def _finalize(self, lblock: int, cost: CostAccumulator) -> None:
         """Complete a replacement: copy the old block's tail, swap the
         map, erase the old block."""
         rep = self._open.pop(lblock)
         old = int(self._data_map[lblock])
+        sub = cost.begin_scope()
         if old >= 0:
             tail_end = self.chip.write_point(old)
             if tail_end > rep.next_offset:
-                self._copy_range_tail(rep, tail_end, old, cost)
+                self._copy_range_tail(rep, tail_end, old, sub)
         self._data_map[lblock] = rep.pblock
         if old >= 0:
             self.chip.erase(old)
-            cost.block_erases += 1
+            sub.block_erases += 1
             self._free.append(old)
         self.finalize_count += 1
-        cost.note("finalize")
+        sub.note("finalize")
         every = self.config.map_flush_every_blocks
         if every and self.finalize_count % every == 0:
             # rewrite of the on-flash inverse-map segment; the metadata
             # area lives outside the modelled address space, so only the
             # cost is charged
-            cost.copy_programs += self.config.map_flush_pages
-            cost.note("map-flush")
+            sub.copy_programs += self.config.map_flush_pages
+            sub.note("map-flush")
+        cost.end_scope("merge", sub)
 
     def _copy_range_tail(
         self, rep: _Replacement, tail_end: int, old: int, cost: CostAccumulator

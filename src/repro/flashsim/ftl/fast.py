@@ -192,25 +192,29 @@ class FastFTL(BaseFTL):
         """The sequential log filled completely: swap it in."""
         seq = self._seq
         assert seq is not None
+        sub = cost.begin_scope()
         old = int(self._data_map[seq.lblock])
         self._data_map[seq.lblock] = seq.pblock
         if old >= 0:
             self.chip.erase(old)
-            cost.block_erases += 1
+            sub.block_erases += 1
             self._free.append(old)
         self._seq = None
         self.merge_stats["switch"] += 1
-        cost.note("switch-merge")
+        sub.note("switch-merge")
+        cost.end_scope("merge", sub)
 
     def _close_seq(self, cost: CostAccumulator) -> None:
         """A partial sequential log must be resolved: merge its block."""
         seq = self._seq
         assert seq is not None
         self._seq = None
-        self._merge_block(seq.lblock, seq_log=seq, cost=cost)
+        sub = cost.begin_scope()
+        self._merge_block(seq.lblock, seq_log=seq, cost=sub)
         self.chip.erase(seq.pblock)
-        cost.block_erases += 1
+        sub.block_erases += 1
         self._free.append(seq.pblock)
+        cost.end_scope("merge", sub)
 
     # -- shared ring ----------------------------------------------------
 
@@ -251,15 +255,17 @@ class FastFTL(BaseFTL):
             self._current = None
         ppb = self.geometry.pages_per_block
         blocks = {lpage // ppb for lpage in victim.live}
+        sub = cost.begin_scope()
         for lblock in sorted(blocks):
-            self._merge_block(lblock, seq_log=None, cost=cost)
+            self._merge_block(lblock, seq_log=None, cost=sub)
         if victim.live:
             raise FTLError("shared log still live after reclaiming its blocks")
         self.chip.erase(victim.pblock)
-        cost.block_erases += 1
+        sub.block_erases += 1
         self._free.append(victim.pblock)
         self.merge_stats["log-reclaims"] += 1
-        cost.note("log-reclaim")
+        sub.note("log-reclaim")
+        cost.end_scope("merge", sub)
 
     # -- merging ---------------------------------------------------------
 
@@ -273,7 +279,8 @@ class FastFTL(BaseFTL):
         block + shared logs + optional partial seq log) into a fresh
         block, dropping every shared entry of the block."""
         ppb = self.geometry.pages_per_block
-        target = self._take_free(cost)
+        sub = cost.begin_scope()
+        target = self._take_free(sub)
         old = int(self._data_map[lblock])
         base = lblock * ppb
         highest = -1
@@ -290,27 +297,28 @@ class FastFTL(BaseFTL):
             if entry is not None:
                 log, position = entry
                 token = self.chip.read(log.pblock, position)
-                cost.copy_reads += 1
+                sub.copy_reads += 1
             elif seq_log is not None and offset < seq_log.next_pos:
                 token = self.chip.read(seq_log.pblock, offset)
-                cost.copy_reads += 1
+                sub.copy_reads += 1
             elif old >= 0 and offset < self.chip.write_point(old):
                 token = self.chip.read(old, offset)
-                cost.copy_reads += 1
+                sub.copy_reads += 1
             else:
                 token = ERASED
             self.chip.program(
                 target, offset, token if token != ERASED else FILLER_TOKEN
             )
-            cost.copy_programs += 1
+            sub.copy_programs += 1
             self._drop_shared_entry(lpage)
         self._data_map[lblock] = target
         if old >= 0:
             self.chip.erase(old)
-            cost.block_erases += 1
+            sub.block_erases += 1
             self._free.append(old)
         self.merge_stats["full"] += 1
-        cost.note("full-merge")
+        sub.note("full-merge")
+        cost.end_scope("merge", sub)
 
     # -- allocation -------------------------------------------------------
 

@@ -383,12 +383,14 @@ class HybridLogFTL(BaseFTL):
         generations = self._pending_by_lblock.pop(lblock, None)
         if not generations:
             return
+        sub = cost.begin_scope()
         for log in generations:
             self._pending.remove(log)
             self.chip.erase(log.pblock)
-            cost.block_erases += 1
+            sub.block_erases += 1
             self._free.append(log.pblock)
-            cost.note("superseded")
+            sub.note("superseded")
+        cost.end_scope("merge", sub)
 
     def _take_free(self, cost: CostAccumulator) -> int:
         """Pop an erased block, reclaiming in the foreground if the pool
@@ -430,14 +432,16 @@ class HybridLogFTL(BaseFTL):
 
     def _switch_merge(self, log: _LogBlock, cost: CostAccumulator) -> None:
         """The log holds the complete block in order: just swap it in."""
+        sub = cost.begin_scope()
         old = int(self._data_map[log.lblock])
         self._data_map[log.lblock] = log.pblock
         if old >= 0:
             self.chip.erase(old)
-            cost.block_erases += 1
+            sub.block_erases += 1
             self._free.append(old)
         self.merge_stats["switch"] += 1
-        cost.note("switch-merge")
+        sub.note("switch-merge")
+        cost.end_scope("merge", sub)
 
     def _merge(self, log: _LogBlock, cost: CostAccumulator) -> None:
         """Merge a closed log with its data block (partial or full)."""
@@ -450,6 +454,7 @@ class HybridLogFTL(BaseFTL):
         # always reserved for this; the merge returns two (log + old data).
         if not self._free:
             raise OutOfSpaceError("no merge reserve block available")
+        sub = cost.begin_scope()
         target = self._free.popleft()
         written = 0
         highest = max(log.latest) if log.latest else -1
@@ -458,50 +463,53 @@ class HybridLogFTL(BaseFTL):
         for offset in range(highest + 1):
             if offset in log.latest:
                 token = self.chip.read(log.pblock, log.latest[offset])
-                cost.copy_reads += 1
+                sub.copy_reads += 1
                 self.merge_copy_reads += 1
             elif old >= 0 and offset < self.chip.write_point(old):
                 token = self.chip.read(old, offset)
-                cost.copy_reads += 1
+                sub.copy_reads += 1
                 self.merge_copy_reads += 1
             else:
                 token = ERASED
             self.chip.program(target, offset, token if token != ERASED else FILLER_TOKEN)
-            cost.copy_programs += 1
+            sub.copy_programs += 1
             self.merge_copy_programs += 1
             written += 1
         self._data_map[log.lblock] = target
         self.chip.erase(log.pblock)
-        cost.block_erases += 1
+        sub.block_erases += 1
         self._free.append(log.pblock)
         if old >= 0:
             self.chip.erase(old)
-            cost.block_erases += 1
+            sub.block_erases += 1
             self._free.append(old)
         self.merge_stats["full"] += 1
-        cost.note("full-merge")
+        sub.note("full-merge")
+        cost.end_scope("merge", sub)
 
     def _partial_merge(self, log: _LogBlock, old: int, cost: CostAccumulator) -> None:
         """The log holds an in-order prefix: copy the tail, then switch."""
         ppb = self.geometry.pages_per_block
+        sub = cost.begin_scope()
         if old >= 0:
             tail_end = self.chip.write_point(old)
             for offset in range(log.next_pos, tail_end):
                 token = self.chip.read(old, offset)
-                cost.copy_reads += 1
+                sub.copy_reads += 1
                 self.merge_copy_reads += 1
                 self.chip.program(
                     log.pblock, offset, token if token != ERASED else FILLER_TOKEN
                 )
-                cost.copy_programs += 1
+                sub.copy_programs += 1
                 self.merge_copy_programs += 1
         self._data_map[log.lblock] = log.pblock
         if old >= 0:
             self.chip.erase(old)
-            cost.block_erases += 1
+            sub.block_erases += 1
             self._free.append(old)
         self.merge_stats["partial"] += 1
-        cost.note("partial-merge")
+        sub.note("partial-merge")
+        cost.end_scope("merge", sub)
 
     # ------------------------------------------------------------------
     # background reclamation

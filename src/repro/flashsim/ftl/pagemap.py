@@ -488,9 +488,11 @@ class PageMapFTL(BaseFTL):
         victim = self._pick_victim()
         if victim is None:
             return False
-        self._relocate_block(victim, cost)
+        sub = cost.begin_scope()
+        self._relocate_block(victim, sub)
         self.gc_collections += 1
-        cost.note("gc")
+        sub.note("gc")
+        cost.end_scope("gc", sub)
         return True
 
     def _relocate_block(self, victim: int, cost: CostAccumulator) -> None:
@@ -584,9 +586,11 @@ class PageMapFTL(BaseFTL):
     def _maybe_wear_level(self, cost: CostAccumulator) -> None:
         coldest = self._wear_cold_block()
         if coldest is not None:
-            self._relocate_block(coldest, cost)
+            sub = cost.begin_scope()
+            self._relocate_block(coldest, sub)
             self.wear_relocations += 1
-            cost.note("wear-level")
+            sub.note("wear-level")
+            cost.end_scope("wear", sub)
 
     # ------------------------------------------------------------------
     # background GC

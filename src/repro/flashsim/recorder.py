@@ -1,0 +1,378 @@
+"""The device flight recorder: per-IO latency attribution.
+
+uFLIP *infers* FTL mechanics — startup phases, merge costs, pause
+absorption — from black-box response-time curves (Sections 3-5).  The
+simulator knows the ground truth and, until now, threw it away: only
+sparse note strings survived into the trace.  This module keeps it.
+
+A :class:`FlightRecorder` is an opt-in, bounded ring buffer attached to
+a :class:`~repro.flashsim.device.FlashDevice`.  While attached, every
+dispatched IO is decomposed into named latency components:
+
+========================  ============================================
+``wait``                  queue wait (start − submission): device or
+                          channel contention
+``controller``            fixed controller overhead + map-miss
+                          penalties + miscellaneous extra charges
+``transfer``              bus transfer of the host payload
+``read``                  chip page reads serving host data
+``program``               chip page programs serving host data
+``gc``                    garbage-collection relocation (victim copies
+                          + erases), plus any unscoped internal copies
+``merge``                 log-block management: switch/partial/full
+                          merges, replacement-block finalisation,
+                          log reclamation, map flushes
+``wear``                  wear-levelling relocations
+``cache``                 write-back cache destage/flush work (net of
+                          the nested FTL scopes it triggers)
+``interference``          read slowdown while background reclamation
+                          is pending (Figure 5's lingering effect)
+``noise``                 measurement-jitter delta (can be negative)
+========================  ============================================
+
+The components are computed in float microseconds mirroring the
+device's dispatch arithmetic — their sum differs from the recorded
+response time only by float associativity — and then quantised to
+integer microseconds by largest-remainder apportionment against
+``round(response)``, so the hard invariant holds exactly:
+
+    ``sum(components) == round(completed_at - submitted_at)``
+
+for every IO, in every pipeline (sync/async, columnar/legacy,
+scalar/batch).  Provenance comes from the
+:meth:`~repro.flashsim.timing.CostAccumulator.begin_scope` ledger the
+FTLs, controller and cache populate; work no scope claims falls into
+the host-level components, so the invariant is structural — mislabeled
+work can never unbalance it.
+
+The recorder itself is observability, not device state: it is excluded
+from snapshots and fingerprints, and a device with a recorder attached
+evolves bit-identically to one without.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.flashsim.timing import CostAccumulator, TimingSpec
+
+#: attribution component names, in column order
+COMPONENTS = (
+    "wait",
+    "controller",
+    "transfer",
+    "read",
+    "program",
+    "gc",
+    "merge",
+    "wear",
+    "cache",
+    "interference",
+    "noise",
+)
+
+#: components fed by scope tags (everything else derives from host work)
+SCOPE_COMPONENTS = frozenset(("gc", "merge", "wear", "cache"))
+
+_COMPONENT_INDEX = {name: i for i, name in enumerate(COMPONENTS)}
+
+# counter vector layout used by the partition walk
+_COUNTERS = (
+    "page_reads",
+    "page_programs",
+    "copy_reads",
+    "copy_programs",
+    "block_erases",
+    "bytes_transferred",
+    "map_misses",
+    "extra_usec",
+)
+
+
+def _counter_vector(cost: CostAccumulator) -> list[float]:
+    return [
+        cost.page_reads,
+        cost.page_programs,
+        cost.copy_reads,
+        cost.copy_programs,
+        cost.block_erases,
+        cost.bytes_transferred,
+        cost.map_misses,
+        cost.extra_usec,
+    ]
+
+
+def _vector_cost(timing: TimingSpec, vec: list[float]) -> float:
+    """Service time of one exclusive counter partition."""
+    reads, programs, c_reads, c_programs, erases, nbytes, misses, extra = vec
+    return (
+        timing.read_pages(reads)
+        + timing.program_pages(programs)
+        + timing.copy_pages(c_reads, c_programs)
+        + timing.erase_blocks(erases)
+        + timing.transfer(nbytes)
+        + misses * timing.map_miss
+        + extra
+    )
+
+
+def _partition(cost: CostAccumulator) -> tuple[list[float], dict[str, list[float]]]:
+    """Split ``cost``'s counters into host-exclusive + per-tag scoped.
+
+    A scope's counters include everything its nested scopes tallied
+    (``end_scope`` folds children in), so each node's *exclusive* share
+    is its vector minus its direct children's totals — every physical
+    count is attributed exactly once.  Unknown tags conservatively land
+    in ``gc`` rather than breaking the balance.
+    """
+    by_tag: dict[str, list[float]] = {
+        name: [0.0] * len(_COUNTERS) for name in SCOPE_COMPONENTS
+    }
+
+    def walk(node: CostAccumulator) -> list[float]:
+        exclusive = _counter_vector(node)
+        for tag, sub in node.scopes or ():
+            sub_total = _counter_vector(sub)
+            sub_exclusive = walk(sub)
+            bucket = by_tag[tag if tag in SCOPE_COMPONENTS else "gc"]
+            for i in range(len(_COUNTERS)):
+                bucket[i] += sub_exclusive[i]
+                exclusive[i] -= sub_total[i]
+        return exclusive
+
+    host = walk(cost)
+    return host, by_tag
+
+
+def attribute_io(
+    timing: TimingSpec,
+    cost: CostAccumulator,
+    *,
+    wait: float,
+    service_base: float,
+    service_scaled: float,
+    service_final: float,
+    response: float,
+    channel: int,
+) -> tuple[int, ...]:
+    """Decompose one IO's response time; returns ``(channel, *usec)``.
+
+    ``service_base`` is the unscaled cost total, ``service_scaled`` the
+    value after read interference, ``service_final`` after noise — the
+    exact floats the device dispatched with, so the interference and
+    noise deltas are reconstruction-free.  The integer components are
+    apportioned (largest remainder) against ``round(response)`` and sum
+    to it exactly.
+    """
+    host, by_tag = _partition(cost)
+    components = [0.0] * len(COMPONENTS)
+    components[_COMPONENT_INDEX["wait"]] = wait
+    # host-level split of service_base
+    reads, programs, c_reads, c_programs, erases, nbytes, misses, extra = host
+    components[_COMPONENT_INDEX["controller"]] = (
+        timing.controller_overhead + misses * timing.map_miss + extra
+    )
+    components[_COMPONENT_INDEX["transfer"]] = timing.transfer(nbytes)
+    components[_COMPONENT_INDEX["read"]] = timing.read_pages(reads)
+    components[_COMPONENT_INDEX["program"]] = timing.program_pages(programs)
+    # unscoped internal copies/erases are reclamation work by definition
+    components[_COMPONENT_INDEX["gc"]] = timing.copy_pages(
+        c_reads, c_programs
+    ) + timing.erase_blocks(erases)
+    for tag, vec in by_tag.items():
+        components[_COMPONENT_INDEX[tag]] += _vector_cost(timing, vec)
+    components[_COMPONENT_INDEX["interference"]] = service_scaled - service_base
+    components[_COMPONENT_INDEX["noise"]] = service_final - service_scaled
+    return (channel, *_apportion(components, round(response)))
+
+
+def unattributed_usec(
+    timing: TimingSpec,
+    cost: CostAccumulator,
+    *,
+    wait: float,
+    service_base: float,
+    service_scaled: float,
+    service_final: float,
+    response: float,
+) -> float:
+    """Float residual of the decomposition before quantisation.
+
+    The true exactness oracle: anything beyond float associativity here
+    means a cost path escaped the component model.  Exposed for the
+    attribution test suite; ~0 (sub-nanosecond) by construction.
+    """
+    host, by_tag = _partition(cost)
+    total = wait + _vector_cost(timing, host) + timing.controller_overhead
+    for vec in by_tag.values():
+        total += _vector_cost(timing, vec)
+    total += (service_scaled - service_base) + (service_final - service_scaled)
+    return response - total
+
+
+def _apportion(components: list[float], target: int) -> tuple[int, ...]:
+    """Integer µs per component, summing exactly to ``target``.
+
+    Largest-remainder: floor everything, then hand the deficit out one
+    µs at a time to the largest fractional remainders (ties to the
+    lower component index, so the result is deterministic).  Negative
+    components (the noise delta) floor like any other.  A deficit
+    outside ``[0, n]`` — impossible unless a float residual exceeds the
+    component count — is dumped on the largest-magnitude component so
+    the invariant still holds.
+    """
+    floors = [math.floor(c) for c in components]
+    deficit = target - sum(floors)
+    n = len(components)
+    if 0 <= deficit <= n:
+        order = sorted(
+            range(n), key=lambda i: (floors[i] - components[i], i)
+        )
+        for i in order[:deficit]:
+            floors[i] += 1
+    else:  # pragma: no cover - defensive only
+        bulk = max(range(n), key=lambda i: abs(components[i]))
+        floors[bulk] += deficit
+    return tuple(floors)
+
+
+@dataclass(slots=True, frozen=True)
+class IOEvent:
+    """One decomposed IO in the flight-recorder ring."""
+
+    lba: int
+    size: int
+    write: bool
+    submitted_at: float
+    started_at: float
+    completed_at: float
+    channel: int
+    #: integer µs per :data:`COMPONENTS` entry; sums to the response time
+    components: tuple[int, ...]
+
+    @property
+    def response_usec(self) -> float:
+        """Response time (completion − submission) in microseconds."""
+        return self.completed_at - self.submitted_at
+
+    def component(self, name: str) -> int:
+        """One named component's share in integer microseconds."""
+        return self.components[_COMPONENT_INDEX[name]]
+
+    def as_dict(self) -> dict:
+        """JSON-friendly form (Chrome trace args, reports)."""
+        payload = {
+            "lba": self.lba,
+            "size": self.size,
+            "mode": "write" if self.write else "read",
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "completed_at": self.completed_at,
+            "channel": self.channel,
+        }
+        payload.update(zip(COMPONENTS, self.components))
+        return payload
+
+
+class FlightRecorder:
+    """A bounded ring of decomposed IO events.
+
+    Attach with :meth:`FlashDevice.attach_recorder`; while attached the
+    device computes an exact latency attribution for every IO, pushes
+    an :class:`IOEvent` here and stamps the decomposition onto the IO's
+    :class:`~repro.flashsim.timing.CostAccumulator`, from where the
+    columnar trace picks it up.  The ring is bounded (``capacity``
+    events; the oldest drop first) so long campaigns cannot grow it
+    without limit — the per-IO trace columns are the unbounded channel.
+    """
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity < 1:
+            raise ValueError("flight recorder capacity must be >= 1")
+        self.capacity = capacity
+        self._events: deque[IOEvent] = deque(maxlen=capacity)
+        self.recorded = 0
+
+    def record(self, event: IOEvent) -> None:
+        """Push one decomposed IO (oldest event drops when full)."""
+        self._events.append(event)
+        self.recorded += 1
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self):
+        return iter(self._events)
+
+    def events(self) -> list[IOEvent]:
+        """The retained events, oldest first."""
+        return list(self._events)
+
+    @property
+    def dropped(self) -> int:
+        """Events pushed out of the ring by newer ones."""
+        return self.recorded - len(self._events)
+
+    def clear(self) -> None:
+        """Empty the ring (counters keep accumulating)."""
+        self._events.clear()
+
+
+def events_from_trace(trace) -> list[IOEvent]:
+    """Rebuild flight-recorder events from an attributed trace.
+
+    The trace's attribution columns carry the same decomposition the
+    ring held, without the bound — this is how campaign tooling (Chrome
+    device lanes, the attribution report) consumes worker-produced
+    traces that never shipped a recorder across the process boundary.
+    Raises :class:`ValueError` when the trace has no attribution.
+    """
+    if not trace.has_attribution:
+        raise ValueError("trace carries no attribution columns")
+    matrix = trace.attribution_matrix()
+    events = []
+    lbas = trace.column("lba")
+    sizes = trace.column("size")
+    writes = trace.column("write")
+    submitted = trace.column("submitted_at")
+    started = trace.column("started_at")
+    completed = trace.column("completed_at")
+    for i in range(len(trace)):
+        row = matrix[i]
+        events.append(
+            IOEvent(
+                lba=int(lbas[i]),
+                size=int(sizes[i]),
+                write=bool(writes[i]),
+                submitted_at=float(submitted[i]),
+                started_at=float(started[i]),
+                completed_at=float(completed[i]),
+                channel=int(row[0]),
+                components=tuple(int(v) for v in row[1:]),
+            )
+        )
+    return events
+
+
+def summarize_components(events: Iterable[IOEvent]) -> dict[str, int]:
+    """Total integer µs per component across ``events``."""
+    totals = dict.fromkeys(COMPONENTS, 0)
+    for event in events:
+        for name, value in zip(COMPONENTS, event.components):
+            totals[name] += value
+    return totals
+
+
+__all__ = [
+    "COMPONENTS",
+    "SCOPE_COMPONENTS",
+    "FlightRecorder",
+    "IOEvent",
+    "attribute_io",
+    "events_from_trace",
+    "summarize_components",
+    "unattributed_usec",
+]

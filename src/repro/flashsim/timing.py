@@ -155,6 +155,15 @@ class CostAccumulator:
     map_misses: int = 0
     extra_usec: float = 0.0
     notes: list[str] = field(default_factory=list)
+    #: provenance ledger: ``None`` (the default) disables scope tracking
+    #: entirely; a list makes :meth:`begin_scope` hand out fresh
+    #: sub-accumulators whose totals are folded back with a ``(tag, sub)``
+    #: entry here.  Excluded from equality — it is observability, not work.
+    scopes: list | None = field(default=None, compare=False, repr=False)
+    #: per-IO latency decomposition attached by the device when a flight
+    #: recorder is enabled: ``(channel, component_usec...)`` integers in
+    #: :data:`repro.flashsim.recorder.COMPONENTS` order.
+    attribution: tuple | None = field(default=None, compare=False, repr=False)
 
     def add(self, other: "CostAccumulator") -> None:
         """Fold another accumulator into this one."""
@@ -171,6 +180,37 @@ class CostAccumulator:
     def note(self, tag: str) -> None:
         """Record a qualitative event (e.g. ``"full-merge"``) for traces."""
         self.notes.append(tag)
+
+    # -- provenance scopes (the flight recorder's attribution channel) ---
+
+    def begin_scope(self) -> "CostAccumulator":
+        """Open a provenance scope for a unit of internal work.
+
+        With tracking disabled (``scopes is None``, the default) this
+        returns ``self`` and the caller's accounting is unchanged — one
+        attribute check is the whole hot-path cost.  With tracking
+        enabled it returns a fresh tracking sub-accumulator; the caller
+        tallies into it and closes with :meth:`end_scope`, which folds
+        the totals back so ``total()`` is identical either way.
+        """
+        if self.scopes is None:
+            return self
+        sub = CostAccumulator()
+        sub.scopes = []
+        return sub
+
+    def end_scope(self, tag: str, sub: "CostAccumulator") -> None:
+        """Close a scope opened with :meth:`begin_scope`.
+
+        ``tag`` names the component the scope's *exclusive* work is
+        attributed to (``"gc"``, ``"merge"``, ``"wear"``, ``"cache"``);
+        nested scopes keep their own tags.  A no-op when tracking is
+        disabled (``sub is self``).
+        """
+        if sub is self:
+            return
+        self.add(sub)
+        self.scopes.append((tag, sub))
 
     def flash_usec(self, timing: TimingSpec) -> float:
         """Time spent on flash operations alone."""

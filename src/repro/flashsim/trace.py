@@ -74,6 +74,28 @@ _INT_COLUMNS = frozenset(
     name for name, dtype in _COLUMNS if dtype is np.int64
 )
 
+#: lazily-allocated attribution columns (flight-recorder runs only), in
+#: :data:`repro.flashsim.recorder.COMPONENTS` order after ``channel``.
+#: Integer microseconds; the ``attr_*`` columns sum to the rounded
+#: response time of every row — the flight recorder's exactness
+#: invariant.
+ATTRIBUTION_COLUMNS = (
+    "channel",
+    "attr_wait_usec",
+    "attr_controller_usec",
+    "attr_transfer_usec",
+    "attr_read_usec",
+    "attr_program_usec",
+    "attr_gc_usec",
+    "attr_merge_usec",
+    "attr_wear_usec",
+    "attr_cache_usec",
+    "attr_interference_usec",
+    "attr_noise_usec",
+)
+
+_ATTR_INDEX = {name: i for i, name in enumerate(ATTRIBUTION_COLUMNS)}
+
 
 def _escape_notes(notes: Iterable[str]) -> str:
     r"""Join cost notes into one CSV field, ``;``-separated.
@@ -146,6 +168,9 @@ class IOTrace:
         self._n = 0
         self._notes: dict[int, list[str]] = {}
         self._response_cache: np.ndarray | None = None
+        #: (capacity, len(ATTRIBUTION_COLUMNS)) int64 matrix, allocated
+        #: on the first attributed record — plain runs never pay for it
+        self._attr: np.ndarray | None = None
         self._allocate(max(int(capacity), 0))
 
     def _allocate(self, capacity: int) -> None:
@@ -163,6 +188,12 @@ class IOTrace:
             grown = np.zeros(capacity, dtype=dtype)
             grown[: self._n] = old[: self._n]
             setattr(self, "_" + name, grown)
+        if self._attr is not None:
+            grown_attr = np.zeros(
+                (capacity, len(ATTRIBUTION_COLUMNS)), dtype=np.int64
+            )
+            grown_attr[: self._n] = self._attr[: self._n]
+            self._attr = grown_attr
         self._capacity = capacity
 
     # ------------------------------------------------------------------
@@ -218,6 +249,8 @@ class IOTrace:
             self._extra_usec[row] = cost.extra_usec
         if cost.notes:
             self._notes[row] = cost.notes
+        if cost.attribution is not None:
+            self._record_attr(row, cost.attribution)
         self._n = row + 1
         self._response_cache = None
 
@@ -275,7 +308,17 @@ class IOTrace:
             self._extra_usec[row] = cost.extra_usec
         if cost.notes:
             self._notes[row] = cost.notes
+        if cost.attribution is not None:
+            self._record_attr(row, cost.attribution)
         self._response_cache = None
+
+    def _record_attr(self, row: int, attribution: tuple) -> None:
+        """Store one IO's latency decomposition (lazy first allocation)."""
+        if self._attr is None:
+            self._attr = np.zeros(
+                (self._capacity, len(ATTRIBUTION_COLUMNS)), dtype=np.int64
+            )
+        self._attr[row] = attribution
 
     def append(self, completed: CompletedIO) -> None:
         """Record one completed IO (legacy object-based protocol)."""
@@ -365,12 +408,52 @@ class IOTrace:
         """A read-only view of one raw column (length == len(self)).
 
         Column names are the :data:`_COLUMNS` entries, e.g. ``"lba"``,
-        ``"completed_at"``, ``"write"`` (the mode as a bool).
+        ``"completed_at"``, ``"write"`` (the mode as a bool), plus —
+        on attributed traces — the :data:`ATTRIBUTION_COLUMNS`.
         """
+        if name in _ATTR_INDEX:
+            return self.attribution_column(name)
         arr = getattr(self, "_" + name)[: self._n]
         view = arr.view()
         view.flags.writeable = False
         return view
+
+    # ------------------------------------------------------------------
+    # attribution columns (flight-recorder runs)
+    # ------------------------------------------------------------------
+
+    @property
+    def has_attribution(self) -> bool:
+        """Whether this trace carries per-IO latency attribution."""
+        return self._attr is not None
+
+    def attribution_matrix(self) -> np.ndarray:
+        """Read-only ``(len(self), len(ATTRIBUTION_COLUMNS))`` int64
+        matrix of the per-IO decomposition (column order is
+        :data:`ATTRIBUTION_COLUMNS`).  Raises when the trace was
+        recorded without a flight recorder attached.
+        """
+        if self._attr is None:
+            raise ValueError("trace carries no attribution columns")
+        view = self._attr[: self._n].view()
+        view.flags.writeable = False
+        return view
+
+    def attribution_column(self, name: str) -> np.ndarray:
+        """One attribution column by name (read-only int64 view)."""
+        return self.attribution_matrix()[:, _ATTR_INDEX[name]]
+
+    def attribution_balance(self) -> np.ndarray:
+        """Per-row residual: component sum − rounded response time.
+
+        The flight recorder's invariant is that this is all-zero for
+        every attributed trace; the attribution test suite pins it
+        across all execution pipelines.
+        """
+        matrix = self.attribution_matrix()
+        components = matrix[:, 1:].sum(axis=1)  # skip the channel column
+        target = np.rint(self.response_times()).astype(np.int64)
+        return components - target
 
     # ------------------------------------------------------------------
     # CSV round-trip
@@ -530,11 +613,20 @@ class IOTrace:
         }
         if notes:
             payload["notes"] = notes
+        if self._attr is not None:
+            payload["attribution"] = {
+                name: self._attr[:n, i].tolist()
+                for i, name in enumerate(ATTRIBUTION_COLUMNS)
+            }
         return payload
 
     @classmethod
     def from_payload(cls, payload: dict) -> "IOTrace":
-        """Rebuild a trace from :meth:`to_payload` output."""
+        """Rebuild a trace from :meth:`to_payload` output.
+
+        Payloads written before the flight recorder existed carry no
+        ``attribution`` key and load as unattributed traces.
+        """
         n = len(payload["index"])
         trace = cls(capacity=n)
         for name, dtype in _COLUMNS:
@@ -543,6 +635,16 @@ class IOTrace:
             )
         for row, tags in payload.get("notes", {}).items():
             trace._notes[int(row)] = list(tags)
+        attribution = payload.get("attribution")
+        if attribution is not None:
+            trace._attr = np.zeros(
+                (max(n, trace._capacity), len(ATTRIBUTION_COLUMNS)),
+                dtype=np.int64,
+            )
+            for i, name in enumerate(ATTRIBUTION_COLUMNS):
+                trace._attr[:n, i] = np.asarray(
+                    attribution[name], dtype=np.int64
+                )
         trace._n = n
         return trace
 
@@ -563,7 +665,13 @@ class IOTrace:
             for row, tags in self._notes.items()
             if tags and row < n
         }
-        return (_trace_from_packed, (n, packed, notes))
+        if self._attr is None:
+            return (_trace_from_packed, (n, packed, notes))
+        attr_packed = tuple(
+            _pack_column(np.ascontiguousarray(self._attr[:n, i]))
+            for i in range(len(ATTRIBUTION_COLUMNS))
+        )
+        return (_trace_from_packed, (n, packed, notes, attr_packed))
 
 
 def _pack_column(column: np.ndarray) -> tuple[str, bytes] | None:
@@ -583,8 +691,14 @@ def _trace_from_packed(
     n: int,
     packed: tuple[tuple[str, bytes] | None, ...],
     notes: dict[int, list[str]],
+    attr_packed: tuple[tuple[str, bytes] | None, ...] | None = None,
 ) -> IOTrace:
-    """Unpickle helper: rebuild an :class:`IOTrace` from packed columns."""
+    """Unpickle helper: rebuild an :class:`IOTrace` from packed columns.
+
+    ``attr_packed`` (absent in pre-flight-recorder pickles) carries the
+    attribution columns in :data:`ATTRIBUTION_COLUMNS` order, packed
+    like the core columns.
+    """
     trace = IOTrace(capacity=n)
     for (name, dtype), entry in zip(_COLUMNS, packed):
         if entry is None:
@@ -594,6 +708,18 @@ def _trace_from_packed(
             buffer, dtype=np.dtype(dtype_str)
         )
     trace._notes = dict(notes)
+    if attr_packed is not None:
+        trace._attr = np.zeros(
+            (max(n, trace._capacity), len(ATTRIBUTION_COLUMNS)),
+            dtype=np.int64,
+        )
+        for i, entry in enumerate(attr_packed):
+            if entry is None:
+                continue
+            dtype_str, buffer = entry
+            trace._attr[:n, i] = np.frombuffer(
+                buffer, dtype=np.dtype(dtype_str)
+            )
     trace._n = n
     return trace
 

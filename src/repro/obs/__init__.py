@@ -32,7 +32,13 @@ from repro.obs.metrics import (
     diff_counts,
     merge_counts,
 )
-from repro.obs.progress import ProgressReporter, configure_logging, get_logger
+from repro.obs.progress import (
+    ProgressReporter,
+    configure_logging,
+    get_logger,
+    histogram_table,
+    metrics_table,
+)
 from repro.obs.tracing import Span, Tracer
 
 __all__ = [
@@ -47,5 +53,7 @@ __all__ = [
     "configure_logging",
     "diff_counts",
     "get_logger",
+    "histogram_table",
     "merge_counts",
+    "metrics_table",
 ]

@@ -36,6 +36,33 @@ DEFAULT_BUCKETS = (
 )
 
 
+def _bucket_percentile(
+    bounds: tuple, counts, count: int, q: float
+) -> float:
+    """Percentile estimate from bucketed counts (shared implementation).
+
+    Linear interpolation within the bucket holding the target rank: the
+    first bucket interpolates from 0, the overflow bucket has no upper
+    edge so the estimate clamps to the last bound (the histogram cannot
+    know more).  ``q`` is a fraction in [0, 1].
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError("percentile fraction must be within [0, 1]")
+    if count <= 0:
+        return 0.0
+    rank = q * count
+    cumulative = 0
+    for position, bucket_count in enumerate(counts):
+        if cumulative + bucket_count >= rank and bucket_count:
+            if position >= len(bounds):
+                return bounds[-1]
+            low = bounds[position - 1] if position else 0.0
+            high = bounds[position]
+            return low + (high - low) * ((rank - cumulative) / bucket_count)
+        cumulative += bucket_count
+    return bounds[-1]
+
+
 class Counter:
     """A monotonically increasing value."""
 
@@ -117,6 +144,14 @@ class Histogram:
         """Mean of all observations (0 when empty)."""
         return self.total / self.count if self.count else 0.0
 
+    def percentile(self, q: float) -> float:
+        """Estimated ``q``-quantile (``q`` in [0, 1]) of the observations.
+
+        Linearly interpolated within the bucket holding the target rank;
+        estimates in the overflow bucket clamp to the last bound.
+        """
+        return _bucket_percentile(self.bounds, self.counts, self.count, q)
+
     def state(self) -> "HistogramState":
         """Picklable copy of the histogram's current contents."""
         return HistogramState(
@@ -140,6 +175,10 @@ class HistogramState:
     def mean(self) -> float:
         """Mean of the recorded observations (0 when empty)."""
         return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Estimated ``q``-quantile; see :meth:`Histogram.percentile`."""
+        return _bucket_percentile(self.bounds, self.counts, self.count, q)
 
     def delta(self, earlier: "HistogramState") -> "HistogramState":
         """Observations recorded between ``earlier`` and this state."""

@@ -60,17 +60,49 @@ def configure_logging(verbosity: int = 0, stream=None) -> logging.Logger:
     return logger
 
 
+#: smoothing factor of the per-cell wall-time EMA behind the ETA — high
+#: enough to track campaigns whose late cells are slower than early ones
+_ETA_ALPHA = 0.3
+
+
 class ProgressReporter:
-    """Live per-cell campaign progress on the ``repro.campaign`` logger."""
+    """Live per-cell campaign progress on the ``repro.campaign`` logger.
+
+    Each finished cell updates an exponential moving average of cell
+    wall times — cached hits and real runs averaged separately, since a
+    hit costs milliseconds while a run costs seconds — and the log line
+    carries a remaining-time estimate that blends the two EMAs by the
+    hit rate observed so far.
+    """
 
     def __init__(self, total: int, label: str = "", logger: logging.Logger | None = None) -> None:
         self.total = total
         self.label = label
         self.logger = logger or get_logger("repro.campaign")
+        self._ema: dict[str, float | None] = {"ran": None, "cached": None}
+        self._seen: dict[str, int] = {"ran": 0, "cached": 0}
 
     def status(self, message: str) -> None:
         """Free-form status line (state preparation, pool start-up)."""
         self.logger.info(message)
+
+    def eta_seconds(self, done: int) -> float:
+        """Estimated wall seconds until the campaign completes.
+
+        Expected per-cell cost is the cached/ran EMA pair weighted by
+        the fraction of cells that landed in each state so far; 0.0
+        before any cell has finished or once every cell is done.
+        """
+        remaining = self.total - done
+        finished = self._seen["ran"] + self._seen["cached"]
+        if remaining <= 0 or finished <= 0:
+            return 0.0
+        expected = 0.0
+        for state in ("ran", "cached"):
+            average = self._ema[state]
+            if average is not None:
+                expected += (self._seen[state] / finished) * average
+        return remaining * expected
 
     def cell_done(self, outcome: "CellOutcome", done: int, total: int) -> None:
         """One cell landed (cache hit or finished run)."""
@@ -78,11 +110,18 @@ class ProgressReporter:
 
         state = "cached" if outcome.cached else "ran"
         wall = outcome.wall_usec / SEC
+        average = self._ema[state]
+        self._ema[state] = (
+            wall if average is None
+            else _ETA_ALPHA * wall + (1.0 - _ETA_ALPHA) * average
+        )
+        self._seen[state] += 1
         name = outcome.cell.experiment
         if self.label:
             name = f"{self.label}:{name}"
         self.logger.info(
-            "[%d/%d] %-32s %6s %8.2fs", done, total, name, state, wall
+            "[%d/%d] %-32s %6s %8.2fs  eta %6.1fs",
+            done, total, name, state, wall, self.eta_seconds(done),
         )
 
 
@@ -98,10 +137,40 @@ def metrics_table(counts: Mapping[str, float], title: str = "metrics") -> str:
     return f"{title}\n{format_table(('metric', 'value'), rows)}"
 
 
+def histogram_table(histograms: Mapping, title: str = "histograms") -> str:
+    """Render histogram states as a percentile summary table.
+
+    One row per histogram — count, mean, p50/p95/p99 (interpolated
+    within buckets, see :meth:`repro.obs.Histogram.percentile`) — which
+    reads far better in a campaign summary than raw bucket counts.
+    """
+    from repro.core.report import format_table
+
+    def shown(value: float) -> str:
+        return f"{value:.0f}" if float(value).is_integer() else f"{value:.2f}"
+
+    rows = []
+    for name in sorted(histograms):
+        state = histograms[name]
+        rows.append(
+            (
+                name,
+                str(state.count),
+                shown(state.mean),
+                shown(state.percentile(0.50)),
+                shown(state.percentile(0.95)),
+                shown(state.percentile(0.99)),
+            )
+        )
+    headers = ("histogram", "count", "mean", "p50", "p95", "p99")
+    return f"{title}\n{format_table(headers, rows)}"
+
+
 __all__ = [
     "LOGGER_NAME",
     "ProgressReporter",
     "configure_logging",
     "get_logger",
+    "histogram_table",
     "metrics_table",
 ]

@@ -101,6 +101,12 @@ class Tracer:
         self.tid = own if tid is None else tid
         self.origin_usec = time.time() * 1e6
         self.spans: list[Span] = []
+        #: synthetic lane labels (tid -> name) for non-worker lanes, e.g.
+        #: the attribution report's per-channel device-time lanes
+        self.lane_names: dict[int, str] = {}
+        #: raw Chrome events (absolute wall-clock ``ts``) injected by
+        #: tooling; normalised against the origin at export time
+        self.extra_events: list[dict] = []
         self._depth = 0
 
     @contextmanager
@@ -134,14 +140,32 @@ class Tracer:
             span.pid = self.pid
             self.spans.append(span)
 
+    def add_lane(self, tid: int, name: str) -> None:
+        """Label a synthetic thread lane in the exported document."""
+        self.lane_names[tid] = name
+
+    def add_events(self, events: Iterable[dict]) -> None:
+        """Inject raw Chrome events (``ts`` in absolute wall-clock µs,
+        the same clock the spans use); the export re-bases them onto the
+        document origin alongside the spans."""
+        self.extra_events.extend(events)
+
     def to_chrome(self) -> dict:
         """The Chrome trace-event document for every recorded span."""
         origin = self.origin_usec
         if self.spans:
             origin = min(origin, min(span.start_usec for span in self.spans))
+        if self.extra_events:
+            origin = min(
+                origin, min(event["ts"] for event in self.extra_events)
+            )
         events = []
-        for tid in sorted({span.tid for span in self.spans}):
-            label = "main" if tid == self.pid else f"worker-{tid}"
+        tids = {span.tid for span in self.spans}
+        tids.update(event["tid"] for event in self.extra_events)
+        for tid in sorted(tids):
+            label = self.lane_names.get(tid)
+            if label is None:
+                label = "main" if tid == self.pid else f"worker-{tid}"
             events.append(
                 {
                     "name": "thread_name",
@@ -152,6 +176,11 @@ class Tracer:
                 }
             )
         events.extend(span.to_event(origin) for span in self.spans)
+        for event in self.extra_events:
+            rebased = dict(event)
+            rebased["ts"] = event["ts"] - origin
+            rebased.setdefault("pid", self.pid)
+            events.append(rebased)
         return {"traceEvents": events, "displayTimeUnit": "ms"}
 
     def write(self, path: str | Path) -> Path:

@@ -138,3 +138,94 @@ def test_stats_only_entries_do_not_satisfy_trace_campaigns(tmp_path):
     third = CampaignExecutor(jobs=1, cache=tmp_path / "cache")
     served = third.execute(cells)
     assert [outcome.cached for outcome in served] == [True, True]
+
+
+def test_attribution_implies_traces_and_attributes_every_cell():
+    from repro.core.archive import payload_has_attribution, payload_has_traces
+
+    executor = CampaignExecutor(jobs=1, attribution=True)
+    assert executor.keep_traces  # attribution rides on kept traces
+    outcomes = executor.execute(order_cells())
+    for outcome in outcomes:
+        assert payload_has_traces(outcome.payload)
+        assert payload_has_attribution(outcome.payload)
+
+
+def test_attribution_balances_in_executor_payloads():
+    import numpy as np
+
+    from repro.flashsim.trace import IOTrace
+
+    outcomes = CampaignExecutor(jobs=1, attribution=True).execute(order_cells())
+    checked = 0
+    for outcome in outcomes:
+        for row in outcome.payload["rows"]:
+            for trace_payload in row["traces"]:
+                trace = IOTrace.from_payload(trace_payload)
+                assert not trace.attribution_balance().any()
+                checked += len(trace)
+    assert checked > 0
+
+
+def test_parallel_attribution_matches_sequential():
+    cells = order_cells()
+    sequential = CampaignExecutor(jobs=1, attribution=True).execute(cells)
+    parallel = CampaignExecutor(jobs=2, attribution=True).execute(cells)
+    assert [outcome.payload for outcome in parallel] == [
+        outcome.payload for outcome in sequential
+    ]
+
+
+def test_attribution_misses_unattributed_cache_entries(tmp_path):
+    from repro.core.archive import payload_has_attribution
+
+    cells = order_cells()
+    plain = CampaignExecutor(jobs=1, cache=tmp_path / "cache", keep_traces=True)
+    plain.execute(cells)
+
+    # the cached entries carry traces but no attribution: an attribution
+    # campaign must re-run them rather than serve unattributed payloads
+    attributed = CampaignExecutor(
+        jobs=1, cache=tmp_path / "cache", attribution=True
+    )
+    outcomes = attributed.execute(cells)
+    assert all(not outcome.cached for outcome in outcomes)
+    assert all(payload_has_attribution(o.payload) for o in outcomes)
+
+    # ... and the re-run entries now satisfy attribution cache hits
+    second = CampaignExecutor(
+        jobs=1, cache=tmp_path / "cache", attribution=True
+    )
+    served = second.execute(cells)
+    assert all(outcome.cached for outcome in served)
+    assert all(payload_has_attribution(o.payload) for o in served)
+
+
+def test_payload_has_attribution_edges():
+    from repro.core.archive import payload_has_attribution
+
+    assert not payload_has_attribution({"rows": []})
+    assert not payload_has_attribution(
+        {"rows": [{"traces": [{"submitted_at": [1.0]}]}]}
+    )
+    assert payload_has_attribution(
+        {"rows": [{"traces": [{"submitted_at": [1.0], "attribution": {}}]}]}
+    )
+    # one unattributed non-empty trace poisons the whole payload ...
+    assert not payload_has_attribution(
+        {
+            "rows": [
+                {"traces": [{"submitted_at": [1.0], "attribution": {}}]},
+                {"traces": [{"submitted_at": [1.0]}]},
+            ]
+        }
+    )
+    # ... but empty traces cannot carry attribution and are tolerated
+    assert payload_has_attribution(
+        {
+            "rows": [
+                {"traces": [{"submitted_at": [1.0], "attribution": {}}]},
+                {"traces": [{"submitted_at": []}]},
+            ]
+        }
+    )

@@ -256,3 +256,93 @@ def test_engine_samples_queue_occupancy():
         assert histogram.count == 32  # one depth sample per submission
     finally:
         uninstall()
+
+
+# ----------------------------------------------------------------------
+# bucketed percentile estimation
+# ----------------------------------------------------------------------
+
+def test_percentile_interpolates_within_bucket():
+    from repro.obs.metrics import Histogram
+
+    histogram = Histogram(bounds=(100.0, 200.0))
+    for _ in range(10):
+        histogram.observe(150.0)  # all land in (100, 200]
+    # rank q*10 observations into the second bucket: linear within it
+    assert histogram.percentile(0.5) == 150.0
+    assert histogram.percentile(1.0) == 200.0
+    assert histogram.percentile(0.0) == 100.0
+
+
+def test_percentile_first_bucket_interpolates_from_zero():
+    from repro.obs.metrics import Histogram
+
+    histogram = Histogram(bounds=(100.0, 200.0))
+    histogram.observe_many(50.0, 4)
+    assert histogram.percentile(0.5) == 50.0
+    assert histogram.percentile(0.25) == 25.0
+
+
+def test_percentile_overflow_clamps_to_last_bound():
+    from repro.obs.metrics import Histogram
+
+    histogram = Histogram(bounds=(100.0,))
+    histogram.observe(1e9)
+    assert histogram.percentile(0.99) == 100.0
+
+
+def test_percentile_empty_histogram_is_zero():
+    from repro.obs.metrics import Histogram
+
+    assert Histogram().percentile(0.95) == 0.0
+
+
+def test_percentile_rejects_out_of_range_fraction():
+    import pytest
+
+    from repro.obs.metrics import Histogram
+
+    with pytest.raises(ValueError):
+        Histogram().percentile(1.5)
+
+
+def test_percentile_spans_buckets_monotonically():
+    from repro.obs.metrics import Histogram
+
+    histogram = Histogram(bounds=(10.0, 100.0, 1000.0))
+    histogram.observe_many(5.0, 50)
+    histogram.observe_many(50.0, 45)
+    histogram.observe_many(500.0, 5)
+    p50, p95, p99 = (
+        histogram.percentile(0.50),
+        histogram.percentile(0.95),
+        histogram.percentile(0.99),
+    )
+    assert p50 <= p95 <= p99
+    assert p50 <= 10.0  # median sits in the first bucket
+    assert 10.0 < p95 <= 100.0
+    assert 100.0 < p99 <= 1000.0
+
+
+def test_percentile_on_state_matches_live_histogram():
+    from repro.obs.metrics import Histogram
+
+    histogram = Histogram()
+    for value in (50.0, 500.0, 5_000.0, 50_000.0):
+        histogram.observe(value)
+    state = histogram.state()
+    for q in (0.5, 0.95, 0.99):
+        assert state.percentile(q) == histogram.percentile(q)
+
+
+def test_histogram_table_shows_percentiles_not_buckets():
+    from repro.obs.metrics import Histogram
+    from repro.obs.progress import histogram_table
+
+    histogram = Histogram(bounds=(100.0, 1000.0))
+    histogram.observe_many(50.0, 10)
+    table = histogram_table({"lat": histogram.state()}, title="t")
+    assert table.startswith("t\n")
+    for column in ("count", "mean", "p50", "p95", "p99"):
+        assert column in table
+    assert "10" in table  # the count, not raw bucket arrays

@@ -86,3 +86,84 @@ def test_metrics_table_formats_ints_and_floats():
     assert "chip.page_reads" in table
     assert " 4" in table
     assert "1.23" in table
+
+
+def _outcome(cell, *, cached, wall_sec):
+    from repro.core.executor import CellOutcome
+    from repro.units import SEC
+
+    return CellOutcome(
+        cell=cell, payload={}, cached=cached, wall_usec=wall_sec * SEC
+    )
+
+
+def _cell():
+    from repro.core.executor import CampaignCell
+
+    return CampaignCell(
+        profile="p", capacity=None, benchmark="b", experiment="exp.one",
+        io_size=1, io_count=1,
+    )
+
+
+def test_eta_zero_before_any_cell_and_after_the_last():
+    reporter = ProgressReporter(total=4)
+    assert reporter.eta_seconds(0) == 0.0
+    reporter.cell_done(_outcome(_cell(), cached=False, wall_sec=2.0), 4, 4)
+    assert reporter.eta_seconds(4) == 0.0
+
+
+def test_eta_tracks_uniform_cell_times():
+    configure_logging(-2)  # silence
+    reporter = ProgressReporter(total=4)
+    for done in (1, 2):
+        reporter.cell_done(
+            _outcome(_cell(), cached=False, wall_sec=2.0), done, 4
+        )
+    # two identical 2 s cells seen, two remaining -> ~4 s
+    assert reporter.eta_seconds(2) == 4.0
+
+
+def test_eta_weights_cached_cells_separately():
+    configure_logging(-2)
+    reporter = ProgressReporter(total=8)
+    # half the landed cells were millisecond cache hits, half 10 s runs;
+    # a single blended EMA would estimate ~5 s per remaining cell even
+    # if the tail is all hits — the split EMA keeps both signals
+    for done in (1, 2):
+        reporter.cell_done(
+            _outcome(_cell(), cached=True, wall_sec=0.01), done, 8
+        )
+    for done in (3, 4):
+        reporter.cell_done(
+            _outcome(_cell(), cached=False, wall_sec=10.0), done, 8
+        )
+    eta = reporter.eta_seconds(4)
+    # 4 remaining x (0.5 * 0.01 + 0.5 * 10.0) = ~20 s
+    assert 19.0 < eta < 21.0
+
+
+def test_eta_ema_follows_slowing_cells():
+    configure_logging(-2)
+    reporter = ProgressReporter(total=10)
+    for done in range(1, 6):
+        reporter.cell_done(
+            _outcome(_cell(), cached=False, wall_sec=1.0), done, 10
+        )
+    flat = reporter.eta_seconds(5)
+    reporter.cell_done(_outcome(_cell(), cached=False, wall_sec=5.0), 6, 10)
+    slowed = reporter.eta_seconds(6)
+    # 4 cells remain after the slow one; the EMA must have moved up
+    assert slowed > flat * 4 / 5
+
+
+def test_cell_line_carries_eta():
+    import io as _io
+
+    stream = _io.StringIO()
+    configure_logging(0, stream=stream)
+    reporter = ProgressReporter(total=2)
+    reporter.cell_done(_outcome(_cell(), cached=False, wall_sec=1.5), 1, 2)
+    line = stream.getvalue().splitlines()[0]
+    assert "eta" in line
+    assert "1.5s" in line

@@ -120,3 +120,105 @@ def test_installed_none_shadows_active_tracer():
         assert outer.spans == []
     finally:
         tracing.uninstall()
+
+
+def test_absorb_many_workers_distinct_lanes_no_negative_times():
+    """Parallel campaigns (--jobs > 1): each worker's spans land on its
+    own lane and export re-bases everything against the parent origin —
+    no negative timestamps or durations, whichever process started
+    first."""
+    parent = Tracer(pid=1, tid=1)
+    with parent.span("campaign", cat="executor"):
+        pass
+    workers = []
+    for worker_pid in (201, 202, 203):
+        worker = Tracer(pid=worker_pid, tid=worker_pid)
+        # worker origins precede the parent's earliest span on purpose:
+        # the export origin must be the min over *all* spans
+        worker.spans.append(
+            Span(
+                name="cell",
+                cat="executor",
+                start_usec=parent.spans[0].start_usec - 500.0 * worker_pid,
+                dur_usec=250.0,
+                pid=worker_pid,
+                tid=worker_pid,
+                args={},
+            )
+        )
+        workers.append(worker)
+    for worker in workers:
+        parent.absorb([span.to_payload() for span in worker.spans])
+
+    assert {span.tid for span in parent.spans} == {1, 201, 202, 203}
+    assert all(span.pid == 1 for span in parent.spans)
+
+    document = parent.to_chrome()
+    complete = [e for e in document["traceEvents"] if e["ph"] == "X"]
+    assert len(complete) == 4
+    assert all(e["ts"] >= 0 for e in complete)
+    assert all(e["dur"] >= 0 for e in complete)
+    assert min(e["ts"] for e in complete) == 0.0
+    lanes = {
+        e["args"]["name"]
+        for e in document["traceEvents"]
+        if e["ph"] == "M"
+    }
+    assert lanes == {"main", "worker-201", "worker-202", "worker-203"}
+
+
+def test_add_lane_labels_synthetic_tid():
+    tracer = Tracer(pid=1, tid=1)
+    with tracer.span("cell"):
+        pass
+    tracer.add_lane(1 << 22, "device ch0")
+    tracer.add_events(
+        [
+            {
+                "name": "read",
+                "cat": "device",
+                "ph": "X",
+                "ts": tracer.spans[0].start_usec + 1.0,
+                "dur": 2.0,
+                "tid": 1 << 22,
+                "args": {},
+            }
+        ]
+    )
+    document = tracer.to_chrome()
+    labels = {
+        e["tid"]: e["args"]["name"]
+        for e in document["traceEvents"]
+        if e["ph"] == "M"
+    }
+    assert labels[1 << 22] == "device ch0"
+    assert labels[1] == "main"
+    device = [e for e in document["traceEvents"] if e.get("cat") == "device"]
+    assert len(device) == 1
+    assert device[0]["ts"] >= 0
+    assert device[0]["pid"] == 1  # defaulted onto the tracer's process
+
+
+def test_extra_events_rebase_against_common_origin():
+    tracer = Tracer(pid=1, tid=1)
+    with tracer.span("cell"):
+        pass
+    span_start = tracer.spans[0].start_usec
+    # an injected event *earlier* than every span moves the origin
+    tracer.add_events(
+        [
+            {
+                "name": "early",
+                "cat": "device",
+                "ph": "X",
+                "ts": span_start - 100.0,
+                "dur": 1.0,
+                "tid": 7,
+                "args": {},
+            }
+        ]
+    )
+    document = tracer.to_chrome()
+    complete = {e["name"]: e for e in document["traceEvents"] if e["ph"] == "X"}
+    assert complete["early"]["ts"] == 0.0
+    assert abs(complete["cell"]["ts"] - 100.0) < 1e-6

@@ -55,6 +55,7 @@ from repro.flashsim.profiles import (  # noqa: E402
     get_profile,
     profile_names,
 )
+from repro.flashsim.recorder import FlightRecorder  # noqa: E402
 from repro.flashsim.trace import pickled_sizes  # noqa: E402
 from repro.iotypes import Mode  # noqa: E402
 from repro.units import KIB, MIB  # noqa: E402
@@ -259,6 +260,39 @@ def bench_queue_depths(
     return results
 
 
+def bench_recorder(
+    profile: str, logical_bytes: int, io_count: int, repeat: int
+) -> dict[str, dict[str, float]]:
+    """Best-of-``repeat`` timings of the RW run with/without the recorder.
+
+    ``run_RW_recorder_off`` is the plain hot path on a device that never
+    had a flight recorder attached — committed to the baseline so the
+    gate pins the disabled-recorder cost (one attribute check per
+    dispatch) at parity.  ``run_RW_recorder_on`` measures the full
+    attribution pipeline (provenance scopes, partition walk,
+    apportionment, trace columns) for the report; attribution is an
+    opt-in campaign mode, so its absolute cost is informational.
+    """
+    spec = baselines(
+        io_size=16 * KIB,
+        io_count=io_count,
+        random_target_size=logical_bytes // 2,
+    )["RW"]
+    best_sec: dict[str, float] = {}
+    for _ in range(max(repeat, 1)):
+        for attached in (False, True):
+            device = build_device(profile, logical_bytes=logical_bytes)
+            if attached:
+                device.attach_recorder(FlightRecorder())
+            engine = Engine(device)
+            start = time.perf_counter()
+            engine.run(spec)
+            elapsed = time.perf_counter() - start
+            key = f"{profile}/run_RW_recorder_{'on' if attached else 'off'}"
+            best_sec[key] = min(best_sec.get(key, elapsed), elapsed)
+    return {key: _entry(sec, io_count) for key, sec in best_sec.items()}
+
+
 def check_baseline(
     results: dict[str, dict[str, float]], baseline_path: Path
 ) -> list[str]:
@@ -346,6 +380,10 @@ def main(argv: list[str] | None = None) -> int:
         results.update(
             bench_queue_depths(profile, logical, io_count, args.repeat)
         )
+        print(f"benchmarking {profile} flight recorder ...", flush=True)
+        results.update(
+            bench_recorder(profile, logical, io_count, args.repeat)
+        )
 
     print(json.dumps(results, indent=2))
     for profile in profiles:
@@ -371,6 +409,17 @@ def main(argv: list[str] | None = None) -> int:
             print(
                 f"{profile}: trace pickle "
                 f"{results[pickle_key]['reduction']}x smaller (columnar)"
+            )
+        rec_off = f"{profile}/run_RW_recorder_off"
+        rec_on = f"{profile}/run_RW_recorder_on"
+        if rec_off in results and rec_on in results:
+            overhead = (
+                results[rec_on]["usec_per_io"]
+                / max(results[rec_off]["usec_per_io"], 1e-9)
+            )
+            print(
+                f"{profile}: flight-recorder attribution costs "
+                f"{overhead:.2f}x on RW (opt-in)"
             )
         qd_low = f"{profile}/run_RR_qd{QUEUE_DEPTHS[0]}"
         qd_high = f"{profile}/run_RR_qd{QUEUE_DEPTHS[-1]}"
