@@ -19,7 +19,10 @@ import random
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
+import numpy as np
+
 from repro.core.patterns import PatternSpec
+from repro.flashsim import analytic
 from repro.flashsim.device import FlashDevice
 from repro.iotypes import IORequest, Mode
 from repro.obs import metrics as obs_metrics
@@ -59,6 +62,14 @@ def enforce_random_state(
     The random state is *stable*: only sequential writes disturb it
     significantly, which is why the benchmark plan directs those to
     fresh target spaces instead of re-enforcing.
+
+    The write stream is RNG-driven, not response-driven, so the whole
+    (size, lba) sequence is pre-drawn into columns and handed to the
+    closed-form write kernel (:func:`repro.flashsim.analytic.write_window`),
+    which simulates maximal GC-free windows in one vectorized pass each
+    and declines — back to the per-IO ``submit`` path below — for every
+    IO at which garbage collection could fire.  Devices the kernel does
+    not cover run the reference loop for the entire stream.
     """
     if coverage <= 0:
         raise ValueError("coverage must be positive")
@@ -66,18 +77,33 @@ def enforce_random_state(
     top_size = max_size or geometry.block_size
     rng = random.Random(seed)
     target_bytes = int(coverage * geometry.logical_bytes)
+    sizes: list[int] = []
+    lbas: list[int] = []
     written = 0
-    count = 0
-    now = device.busy_until
-    start = now
     while written < target_bytes:
         size = rng.randrange(min_size, top_size + 1, SECTOR)
         max_lba = geometry.logical_bytes - size
-        lba = rng.randrange(0, max_lba + 1, SECTOR)
-        completed = device.submit(IORequest(count, lba, size, Mode.WRITE), now)
-        now = completed.completed_at
+        lbas.append(rng.randrange(0, max_lba + 1, SECTOR))
+        sizes.append(size)
         written += size
-        count += 1
+    count = len(sizes)
+    size_col = np.asarray(sizes, dtype=np.int64)
+    lba_col = np.asarray(lbas, dtype=np.int64)
+    now = device.busy_until
+    start = now
+    index = 0
+    while index < count:
+        done, now = analytic.write_window(
+            device, lba_col[index:], size_col[index:], now
+        )
+        if done:
+            index += done
+        else:
+            completed = device.submit(
+                IORequest(index, lbas[index], sizes[index], Mode.WRITE), now
+            )
+            now = completed.completed_at
+            index += 1
     device.drain()
     return StateReport(
         method="random",

@@ -2,7 +2,7 @@
 
 The paper benchmarks physical flash devices as black boxes; this
 subpackage builds those black boxes: NAND chips
-(:mod:`~repro.flashsim.chip`), three FTL families
+(:mod:`~repro.flashsim.chip`), four FTL families
 (:mod:`~repro.flashsim.ftl`), RAM caching
 (:mod:`~repro.flashsim.cache`), the controller
 (:mod:`~repro.flashsim.controller`), and the assembled block device
@@ -10,6 +10,8 @@ subpackage builds those black boxes: NAND chips
 (:mod:`~repro.flashsim.profiles`).
 """
 
+from repro.flashsim.analytic import KernelStats
+from repro.flashsim.bitmap import PackedBits, mask_from_indices, pack_bits
 from repro.flashsim.cache import WriteBackCache
 from repro.flashsim.chip import ERASED, ChannelSet, FlashChip
 from repro.flashsim.clock import EventTimeline, SimClock
@@ -82,6 +84,8 @@ __all__ = [
     "Geometry",
     "IOEvent",
     "IOTrace",
+    "KernelStats",
+    "PackedBits",
     "QueuedCompletion",
     "LifetimeProjection",
     "MLC_POWER",
@@ -102,6 +106,8 @@ __all__ = [
     "events_from_trace",
     "feed_from_iterable",
     "get_profile",
+    "mask_from_indices",
+    "pack_bits",
     "profile_names",
     "measure_run_energy",
     "pickled_sizes",

@@ -1,0 +1,676 @@
+"""Closed-form whole-run kernels (the analytic fast path).
+
+When a run of host IOs provably cannot trigger an FTL state transition —
+no garbage collection, no wear move, no background unit, no
+read-your-writes failure — every per-IO quantity is a *closed-form*
+function of the device state at the start of the run: programs land at
+consecutive write points of a known block sequence, RMW edge reads count
+mapped pages, service times follow the
+:meth:`~repro.flashsim.timing.CostAccumulator.total` formula, and the
+completion chain is a prefix sum.  The kernels in this module evaluate
+that closed form on numpy columns — one vectorized pass for a whole
+window of IOs — then write chip / FTL / controller / device state to
+exactly the values the per-IO reference path would have produced.
+
+Discipline (the same provably-equivalent-or-fallback contract as the
+page-map GC-headroom fast path in
+:meth:`~repro.flashsim.ftl.pagemap.PageMapFTL.write_run`):
+
+* a kernel either proves, *before touching any state*, that the window
+  is transition-free and then reproduces the per-IO path **bit for
+  bit** — same maps, same counters, same floats in the same operation
+  order — or it declines and the caller falls back to the reference
+  per-IO loop;
+* every decline is counted with a reason in :data:`STATS`, which is
+  what the equivalence tests assert on ("the fast path bails out
+  exactly when a state transition could occur").
+
+Current coverage: the page-map FTL (the "modern SSD" profile family)
+under synchronous hosts — random/sequential **reads** of any mix of
+sizes, and **write** windows within verified GC headroom.  Everything
+else (other FTL families, caches, fault injectors, wear levelling,
+measurement noise, queue depth > 1) declines up front and runs the
+reference path unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import islice
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.flashsim.chip import ERASED
+from repro.flashsim.ftl.pagemap import _ACTIVE, _DATA, PageMapFTL
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from repro.core.generator import IOProgram
+    from repro.flashsim.device import FlashDevice
+    from repro.flashsim.trace import IOTrace
+
+#: master switch; tests flip it off to force the reference path
+ENABLED = True
+
+
+@dataclass
+class KernelStats:
+    """Hit/decline counters for the analytic kernels (introspection).
+
+    ``declines`` maps a ``"op:reason"`` string (e.g.
+    ``"write:gc-headroom"``) to the number of times a kernel refused a
+    window for that reason.  The counters are process-global
+    observability, not device state: they never affect simulation
+    results and are excluded from snapshots and fingerprints.
+    """
+
+    write_windows: int = 0
+    write_ios: int = 0
+    read_windows: int = 0
+    read_ios: int = 0
+    declines: dict[str, int] = field(default_factory=dict)
+
+    def decline(self, reason: str) -> None:
+        """Count one refused window under ``reason`` (``"op:why"``)."""
+        self.declines[reason] = self.declines.get(reason, 0) + 1
+
+    def reset(self) -> None:
+        """Zero all counters (test isolation)."""
+        self.write_windows = 0
+        self.write_ios = 0
+        self.read_windows = 0
+        self.read_ios = 0
+        self.declines = {}
+
+
+#: module-global counters (reset freely from tests)
+STATS = KernelStats()
+
+
+def device_decline_reason(device: "FlashDevice") -> str | None:
+    """Why this device cannot take the analytic kernels (None = it can).
+
+    These are *configuration* preconditions — properties that cannot
+    change mid-run: the FTL family and its batch mode, the RAM cache,
+    the flight recorder, measurement noise, fault injection, wear
+    levelling and block health.
+    """
+    ftl = device.ftl
+    if not isinstance(ftl, PageMapFTL):
+        return "ftl-family"
+    if not (ftl.batch_enabled and device.controller.batch_enabled):
+        return "batch-disabled"
+    if device.controller.cache is not None:
+        return "cache"
+    if device.recorder is not None:
+        return "recorder"
+    if device.noise.jitter:
+        return "noise"
+    if device.chip.fault_injector is not None:
+        return "fault-injector"
+    if ftl.config.wear_threshold:
+        return "wear-levelling"
+    if device.chip.good_blocks() != device.geometry.physical_blocks:
+        return "bad-blocks"
+    return None
+
+
+def _decline(op: str, reason: str, now: float) -> tuple[int, float]:
+    STATS.decline(f"{op}:{reason}")
+    return 0, now
+
+
+def _expand_spans(device, lbas, sizes, expand):
+    """Per-IO page spans ``[s_pg, e_pg)``: controller expansion math.
+
+    ``expand`` applies the write path's mapping-unit expansion; reads
+    span exactly the touched pages.
+    """
+    geometry = device.geometry
+    page = geometry.page_size
+    if expand:
+        unit = device.controller.mapping_unit
+        exp_start = (lbas // unit) * unit
+        exp_end = np.minimum(
+            -(-(lbas + sizes) // unit) * unit, geometry.logical_bytes
+        )
+        s_pg = exp_start // page
+        e_pg = -(-exp_end // page)
+    else:
+        s_pg = lbas // page
+        e_pg = (lbas + sizes - 1) // page + 1
+    return s_pg, e_pg
+
+
+def _valid_prefix(device, lbas, sizes):
+    """Length of the leading run of in-bounds IOs (the rest would raise
+    ``AddressError`` in the reference path, so the kernel stops before
+    them and lets the fallback raise)."""
+    ok = (sizes > 0) & (lbas >= 0) & (lbas + sizes <= device.geometry.logical_bytes)
+    if bool(ok.all()):
+        return int(lbas.size)
+    return int(np.argmin(ok))
+
+
+def _map_misses(device, s_pg, e_pg):
+    """Per-IO map-miss counts: the controller charges one miss whenever
+    an IO's first page is not the previous IO's ``span.stop``."""
+    miss = np.empty(s_pg.size, dtype=np.int64)
+    last_end = device.controller._last_end_page
+    miss[0] = 1 if (last_end is not None and int(s_pg[0]) != last_end) else 0
+    if s_pg.size > 1:
+        miss[1:] = s_pg[1:] != e_pg[:-1]
+    return miss
+
+
+def _finish_services(device, flash, sizes, miss, now):
+    """Service times and the completion chain, in the reference float
+    operation order: ``(flash + transfer) + miss*map_miss`` then
+    ``+ controller_overhead``, folded left into completions."""
+    timing = device.timing
+    service = flash + timing.transfer_per_kib * (sizes / 1024.0)
+    service = service + miss * timing.map_miss
+    service = service + timing.controller_overhead
+    # np.add.accumulate is a strict left fold (verified), bit-identical
+    # to the scalar ``completion = start + service`` chain
+    chain = np.empty(service.size + 1, dtype=np.float64)
+    chain[0] = now
+    chain[1:] = service
+    completions = np.add.accumulate(chain)[1:]
+    return service, completions
+
+
+def _occupy_channels(device, completions):
+    """Round-robin channel assignment, matching per-IO ``pick()``.
+
+    At window start every channel horizon is <= ``busy_until`` < every
+    window completion, so pick() visits channels in ascending initial
+    horizon (lowest index on ties — stable argsort) and then cycles:
+    IO *i* lands on ``perm[i % C]``.  Each channel's final horizon is
+    the completion of the last IO it served.
+    """
+    channels = device._channels
+    busys = channels._busy
+    n_ch = len(busys)
+    perm = np.argsort(np.asarray(busys), kind="stable")
+    n = completions.size
+    for j in range(min(n_ch, n)):
+        last = (n - 1) - ((n - 1 - j) % n_ch)
+        channels.occupy(int(perm[j]), float(completions[last]))
+
+
+def _accumulate_busy(device, service):
+    """Left-fold the per-IO services into ``stats.busy_usec`` exactly
+    as the per-IO ``_account`` calls would."""
+    busy = device.stats.busy_usec
+    for usec in service.tolist():
+        busy += usec
+    device.stats.busy_usec = busy
+
+
+def write_window(
+    device: "FlashDevice",
+    lbas: np.ndarray,
+    sizes: np.ndarray,
+    now: float,
+    trace: "IOTrace | None" = None,
+    row0: int = 0,
+    sched0: float | None = None,
+) -> tuple[int, float]:
+    """Simulate the longest provably-GC-free prefix of a write run.
+
+    ``lbas``/``sizes`` are int64 columns of back-to-back synchronous
+    writes, the first submitted at ``now``.  Returns ``(count, end)``:
+    ``count`` IOs were simulated in closed form (0 = declined, state
+    untouched) and the device fell idle at ``end``.
+
+    The window is bounded by the same GC-headroom condition as the
+    page-map write fast path, evaluated per IO against the free pool
+    *after* the allocations of all preceding IOs in the window — so the
+    kernel stops exactly at the first IO whose reference execution
+    could trigger garbage collection, and the caller replays that IO
+    through the per-IO path.
+
+    When ``trace`` is given, rows ``row0..row0+count-1`` are recorded
+    with the synchronous host's timing columns (``sched0`` is the first
+    IO's scheduled time; later IOs are scheduled at the previous
+    completion, i.e. a zero-gap program).
+    """
+    if not ENABLED:
+        return _decline("write", "disabled", now)
+    reason = device_decline_reason(device)
+    if reason is not None:
+        return _decline("write", reason, now)
+    if now != device._busy_until:
+        return _decline("write", "start-misaligned", now)
+
+    geometry = device.geometry
+    ftl = device.ftl
+    chip = device.chip
+    controller = device.controller
+    ppb = geometry.pages_per_block
+
+    lbas = np.asarray(lbas, dtype=np.int64)
+    sizes = np.asarray(sizes, dtype=np.int64)
+    limit = _valid_prefix(device, lbas, sizes)
+    if limit == 0:
+        return _decline("write", "address", now)
+    lbas = lbas[:limit]
+    sizes = sizes[:limit]
+
+    s_pg, e_pg = _expand_spans(device, lbas, sizes, expand=True)
+    n_pg = e_pg - s_pg
+
+    # -- GC headroom per IO: free pool after the preceding IOs' block
+    #    allocations must clear the write fast path's margin -----------
+    wp0 = int(chip._write_point[ftl._host_active])
+    free0 = len(ftl._free)
+    gc_low = ftl.config.gc_low_blocks
+    first_pos = np.empty(limit, dtype=np.int64)  # append position of IO i's first page
+    first_pos[0] = wp0
+    np.cumsum(n_pg[:-1], out=first_pos[1:])
+    first_pos[1:] += wp0
+    pre = (wp0 - 1) // ppb if wp0 >= 1 else 0
+    allocs_before = np.maximum((first_pos - 1) // ppb - pre, 0)
+    headroom_ok = (free0 - allocs_before) > gc_low + 1 + n_pg // ppb
+    n_ios = limit if bool(headroom_ok.all()) else int(np.argmin(headroom_ok))
+    if n_ios == 0:
+        return _decline("write", "gc-headroom", now)
+    lbas = lbas[:n_ios]
+    sizes = sizes[:n_ios]
+    s_pg = s_pg[:n_ios]
+    e_pg = e_pg[:n_ios]
+    n_pg = n_pg[:n_ios]
+
+    # -- flatten the window into per-page columns ---------------------
+    page = geometry.page_size
+    cov_lo = np.maximum(s_pg, -(-lbas // page))
+    cov_hi = np.minimum(e_pg, (lbas + sizes) // page)
+    degenerate = cov_lo >= cov_hi
+    cov_lo = np.where(degenerate, s_pg, cov_lo)
+    cov_hi = np.where(degenerate, s_pg, cov_hi)
+
+    offsets = np.empty(n_ios + 1, dtype=np.int64)
+    offsets[0] = 0
+    np.cumsum(n_pg, out=offsets[1:])
+    total_pages = int(offsets[-1])
+    starts_rep = np.repeat(s_pg, n_pg)
+    lpage_flat = np.arange(total_pages, dtype=np.int64)
+    lpage_flat -= np.repeat(offsets[:-1], n_pg)
+    lpage_flat += starts_rep
+    covered_flat = (lpage_flat >= np.repeat(cov_lo, n_pg)) & (
+        lpage_flat < np.repeat(cov_hi, n_pg)
+    )
+
+    # -- resolve tokens: group repeated lpages in flat (= mint) order --
+    order = np.argsort(lpage_flat, kind="stable")
+    lp_sorted = lpage_flat[order]
+    first_in_group = np.empty(total_pages, dtype=bool)
+    first_in_group[0] = True
+    first_in_group[1:] = lp_sorted[1:] != lp_sorted[:-1]
+    last_in_group = np.empty(total_pages, dtype=bool)
+    last_in_group[-1] = True
+    last_in_group[:-1] = first_in_group[1:]
+
+    init_ppage_sorted = ftl._l2p[lp_sorted]
+    init_mapped_sorted = init_ppage_sorted >= 0
+    covered_sorted = covered_flat[order]
+    seen_before_sorted = ~first_in_group
+    # an uncovered (RMW) edge reads the page's current content and
+    # mints only when that content is ERASED — i.e. the lpage is
+    # neither initially mapped nor written earlier in the window
+    mapped_now_sorted = seen_before_sorted | init_mapped_sorted
+    mint_sorted = covered_sorted | ~mapped_now_sorted
+
+    mint_flat = np.empty(total_pages, dtype=bool)
+    mint_flat[order] = mint_sorted
+    mint_rank = np.cumsum(mint_flat)  # 1-based rank at mint positions
+    total_mints = int(mint_rank[-1])
+    next0 = controller._next_token
+    fresh_flat = mint_rank + (next0 - 1)  # token value at mint positions
+
+    # within each group, a non-mint occurrence rereads the token of the
+    # group's latest mint (or the chip's pre-window token before any)
+    positions = np.arange(total_pages, dtype=np.int64)
+    fresh_sorted = fresh_flat[order]
+    last_mint_pos = np.maximum.accumulate(np.where(mint_sorted, positions, -1))
+    group_start_pos = np.maximum.accumulate(np.where(first_in_group, positions, -1))
+    use_mint = last_mint_pos >= group_start_pos
+    init_token_sorted = chip._tokens[np.where(init_mapped_sorted, init_ppage_sorted, 0)]
+    init_token_sorted = np.where(init_mapped_sorted, init_token_sorted, ERASED)
+    token_sorted = np.where(
+        use_mint, fresh_sorted[np.maximum(last_mint_pos, 0)], init_token_sorted
+    )
+    token_flat = np.empty(total_pages, dtype=np.int64)
+    token_flat[order] = token_sorted
+
+    # -- physical placement: consecutive append positions -------------
+    abs_pos = np.arange(wp0, wp0 + total_pages, dtype=np.int64)
+    block_seq = abs_pos // ppb
+    last_seq = int(block_seq[-1])  # number of block allocations in the window
+    blocks = np.empty(last_seq + 1, dtype=np.int64)
+    blocks[0] = ftl._host_active
+    if last_seq:
+        blocks[1:] = list(islice(ftl._free, last_seq))
+    ppage_flat = blocks[block_seq] * ppb + (abs_pos - block_seq * ppb)
+
+    # -- per-IO costs and service times --------------------------------
+    mapped_now_flat = np.empty(total_pages, dtype=bool)
+    mapped_now_flat[order] = mapped_now_sorted
+    rmw_read_flat = ~covered_flat & mapped_now_flat
+    reads_per_io = np.add.reduceat(rmw_read_flat.astype(np.int64), offsets[:-1])
+    miss = _map_misses(device, s_pg, e_pg)
+    timing = device.timing
+    flash = (timing.read_page * reads_per_io.astype(np.float64)) / timing.parallelism
+    flash = flash + (timing.program_page * n_pg.astype(np.float64)) / timing.parallelism
+    service, completions = _finish_services(device, flash, sizes, miss, now)
+    end = float(completions[-1])
+
+    # ==================================================================
+    # commit: from here on, state is written to the exact final values
+    # the reference per-IO path would have produced
+    # ==================================================================
+
+    # chip: programmed tokens, write points, operation counters
+    chip._tokens[ppage_flat] = token_flat
+    if last_seq == 0:
+        chip._write_point[int(blocks[0])] = wp0 + total_pages
+    else:
+        chip._write_point[blocks[:-1]] = ppb
+        chip._write_point[int(blocks[-1])] = wp0 + total_pages - last_seq * ppb
+    total_rmw_reads = int(reads_per_io.sum())
+    chip.stats.page_programs += total_pages
+    chip.stats.page_reads += total_rmw_reads
+
+    # FTL maps: invalidate pre-window mappings of rewritten lpages,
+    # then map each lpage to its final (last) window occurrence
+    group_lpages = lp_sorted[first_in_group]
+    old_ppages = init_ppage_sorted[first_in_group]
+    old_ppages = old_ppages[old_ppages >= 0]
+    nblocks = geometry.physical_blocks
+    dec = np.bincount(old_ppages // ppb, minlength=nblocks)
+    dec_blocks = np.flatnonzero(dec)
+    dec_data_blocks = dec_blocks[ftl._state[dec_blocks] == _DATA]
+    ftl._p2l[old_ppages] = -1
+    ftl._valid_map[old_ppages] = False
+    is_final_flat = np.empty(total_pages, dtype=bool)
+    is_final_flat[order] = last_in_group
+    ftl._p2l[ppage_flat] = np.where(is_final_flat, lpage_flat, -1)
+    ftl._valid_map[ppage_flat] = is_final_flat
+    ppage_sorted = ppage_flat[order]
+    ftl._l2p[group_lpages] = ppage_sorted[last_in_group]
+    inc = np.bincount(ppage_flat[is_final_flat] // ppb, minlength=nblocks)
+    ftl._valid += inc
+    ftl._valid -= dec
+
+    # block lifecycle: retire filled blocks, allocate from the free pool
+    if last_seq:
+        retired = blocks[:-1]
+        ftl._state[retired] = _DATA
+        seq0 = ftl._sequence
+        ftl._retired_at[retired] = np.arange(seq0 + 1, seq0 + 1 + last_seq)
+        ftl._sequence = seq0 + last_seq
+        new_active = int(blocks[-1])
+        ftl._state[new_active] = _ACTIVE
+        ftl._host_active = new_active
+        ftl._free_map[blocks[1:]] = False
+        for _ in range(last_seq):
+            ftl._free.popleft()
+
+    # greedy-GC buckets: contents are a pure function of (_state,
+    # _valid); the floor replays the scalar event sequence in closed
+    # form — every touched block's minimum bucket equals its *final*
+    # valid count (adds use the retire-time count, decs only lower it)
+    if ftl._use_buckets:
+        old_floor = ftl._min_bucket
+        ftl._rebuild_buckets()
+        touched = (
+            np.concatenate((blocks[:-1], dec_data_blocks))
+            if last_seq
+            else dec_data_blocks
+        )
+        floor = old_floor
+        if touched.size:
+            floor = min(floor, int(ftl._valid[touched].min()))
+        ftl._min_bucket = floor
+
+    # controller: shadow tokens of every minted lpage, token counter,
+    # sequential-access detector
+    group_has_mint = use_mint[last_in_group]
+    minted_groups = group_lpages[group_has_mint]
+    controller._shadow[minted_groups] = token_sorted[last_in_group][group_has_mint]
+    controller._next_token = next0 + total_mints
+    controller._last_end_page = int(e_pg[-1])
+
+    # device accounting: busy horizon, channels, aggregate counters
+    _occupy_channels(device, completions)
+    device._busy_until = end
+    _accumulate_busy(device, service)
+    device.stats.writes += n_ios
+    device.stats.bytes_written += int(sizes.sum())
+
+    if trace is not None:
+        scheduled = np.empty(n_ios, dtype=np.float64)
+        scheduled[0] = now if sched0 is None else sched0
+        scheduled[1:] = completions[:-1]
+        submitted = scheduled.copy()
+        submitted[0] = now
+        trace.record_run(
+            row0,
+            lbas,
+            sizes,
+            True,
+            scheduled,
+            submitted,
+            submitted,
+            completions,
+            page_reads=reads_per_io,
+            page_programs=n_pg,
+            bytes_transferred=sizes,
+            map_misses=miss,
+        )
+
+    STATS.write_windows += 1
+    STATS.write_ios += n_ios
+    return n_ios, end
+
+
+def read_window(
+    device: "FlashDevice",
+    lbas: np.ndarray,
+    sizes: np.ndarray,
+    now: float,
+    trace: "IOTrace | None" = None,
+    row0: int = 0,
+    sched0: float | None = None,
+) -> tuple[int, float]:
+    """Simulate a run of back-to-back synchronous reads in closed form.
+
+    Reads never change FTL state, so the whole remaining run qualifies
+    at once — *unless* background work is pending (each read would then
+    suffer interference and feed credit grants that advance GC: a real
+    state transition per IO) or a page would fail read-your-writes
+    verification (the reference path raises mid-run).  The window is
+    truncated before the first verification failure so the fallback
+    raises exactly where the reference would.
+
+    Returns ``(count, end)`` like :func:`write_window`.
+    """
+    if not ENABLED:
+        return _decline("read", "disabled", now)
+    reason = device_decline_reason(device)
+    if reason is not None:
+        return _decline("read", reason, now)
+    if now != device._busy_until:
+        return _decline("read", "start-misaligned", now)
+    ftl = device.ftl
+    if ftl.background_work_pending():
+        return _decline("read", "background-pending", now)
+
+    lbas = np.asarray(lbas, dtype=np.int64)
+    sizes = np.asarray(sizes, dtype=np.int64)
+    n_ios = _valid_prefix(device, lbas, sizes)
+    if n_ios == 0:
+        return _decline("read", "address", now)
+    lbas = lbas[:n_ios]
+    sizes = sizes[:n_ios]
+
+    s_pg, e_pg = _expand_spans(device, lbas, sizes, expand=False)
+    n_pg = e_pg - s_pg
+    offsets = np.empty(n_ios + 1, dtype=np.int64)
+    offsets[0] = 0
+    np.cumsum(n_pg, out=offsets[1:])
+    total_pages = int(offsets[-1])
+    lpage_flat = np.arange(total_pages, dtype=np.int64)
+    lpage_flat -= np.repeat(offsets[:-1], n_pg)
+    lpage_flat += np.repeat(s_pg, n_pg)
+
+    chip = device.chip
+    ppages = ftl._l2p[lpage_flat]
+    mapped = ppages >= 0
+    tokens = np.where(mapped, chip._tokens[np.where(mapped, ppages, 0)], ERASED)
+    if device.controller.config.verify:
+        expected = device.controller._shadow[lpage_flat]
+        bad = tokens != expected
+        if bool(bad.any()):
+            # truncate before the IO whose verification fails; the
+            # fallback replays it and raises the reference FTLError
+            first_bad_page = int(np.argmax(bad))
+            bad_io = int(np.searchsorted(offsets, first_bad_page, side="right")) - 1
+            if bad_io == 0:
+                return _decline("read", "verify", now)
+            n_ios = bad_io
+            lbas = lbas[:n_ios]
+            sizes = sizes[:n_ios]
+            s_pg = s_pg[:n_ios]
+            e_pg = e_pg[:n_ios]
+            n_pg = n_pg[:n_ios]
+            total_pages = int(offsets[n_ios])
+            offsets = offsets[: n_ios + 1]
+            mapped = mapped[:total_pages]
+
+    reads_per_io = np.add.reduceat(mapped.astype(np.int64), offsets[:-1])
+    miss = _map_misses(device, s_pg, e_pg)
+    timing = device.timing
+    flash = (timing.read_page * reads_per_io.astype(np.float64)) / timing.parallelism
+    service, completions = _finish_services(device, flash, sizes, miss, now)
+    end = float(completions[-1])
+
+    # commit ----------------------------------------------------------
+    chip.stats.page_reads += int(reads_per_io.sum())
+    device.controller._last_end_page = int(e_pg[-1])
+
+    # background credit: each read grants service * read_concurrency,
+    # clamped to the leftover maximum; with no work pending the grants
+    # only move the credit account (exact scalar fold, including the
+    # clamp ordering)
+    concurrency = device.background.read_concurrency
+    if concurrency > 0.0:
+        cap = device.background.max_leftover_credit_usec
+        credit = device._bg_credit
+        for usec in service.tolist():
+            credit += usec * concurrency
+            credit = min(credit, cap)
+        device._bg_credit = credit
+
+    _occupy_channels(device, completions)
+    device._busy_until = end
+    _accumulate_busy(device, service)
+    device.stats.reads += n_ios
+    device.stats.bytes_read += int(sizes.sum())
+
+    if trace is not None:
+        scheduled = np.empty(n_ios, dtype=np.float64)
+        scheduled[0] = now if sched0 is None else sched0
+        scheduled[1:] = completions[:-1]
+        submitted = scheduled.copy()
+        submitted[0] = now
+        trace.record_run(
+            row0,
+            lbas,
+            sizes,
+            False,
+            scheduled,
+            submitted,
+            submitted,
+            completions,
+            page_reads=reads_per_io,
+            bytes_transferred=sizes,
+            map_misses=miss,
+        )
+
+    STATS.read_windows += 1
+    STATS.read_ios += n_ios
+    return n_ios, end
+
+
+def run_program_into(
+    device: "FlashDevice",
+    program: "IOProgram",
+    trace: "IOTrace",
+    start_at: float,
+    os_overhead: float,
+) -> bool:
+    """Run a whole :class:`~repro.core.generator.IOProgram` through the
+    kernels, falling back per IO where a window declines.
+
+    Returns False — with *no* state touched — when the program shape
+    itself disqualifies (paced gaps, host overhead, queue-misaligned
+    start, or a device-level decline); the synchronous host then runs
+    its reference loop.  Returns True when the program completed: every
+    IO was simulated either inside a closed-form window or, at window
+    boundaries (GC about to fire, verification about to fail), through
+    the ordinary :meth:`~repro.flashsim.device.FlashDevice.submit_into`
+    path — which also re-raises exactly the reference errors.
+    """
+    if not ENABLED:
+        STATS.decline("program:disabled")
+        return False
+    if os_overhead != 0.0:
+        STATS.decline("program:os-overhead")
+        return False
+    gaps = program.gaps
+    if gaps.size and bool((gaps != 0.0).any()):
+        STATS.decline("program:paced")
+        return False
+    if device._busy_until != start_at:
+        STATS.decline("program:start-misaligned")
+        return False
+    if device_decline_reason(device) is not None:
+        STATS.decline(f"program:{device_decline_reason(device)}")
+        return False
+
+    lbas = program.lbas
+    sizes = program.sizes
+    writes = np.asarray(program.writes, dtype=bool)
+    count = len(program)
+    # homogeneous stretches: a window never crosses a read/write flip
+    flips = np.flatnonzero(writes[1:] != writes[:-1]) + 1
+    bounds = np.empty(flips.size + 1, dtype=np.int64)
+    bounds[: flips.size] = flips
+    bounds[-1] = count
+
+    clock = start_at
+    i = 0
+    end_i = 0
+    while i < count:
+        if i >= end_i:
+            end_i = int(bounds[np.searchsorted(bounds, i, side="right")])
+        kernel = write_window if writes[i] else read_window
+        sched0 = start_at if i == 0 else clock
+        done, clock_after = kernel(
+            device, lbas[i:end_i], sizes[i:end_i], clock,
+            trace=trace, row0=i, sched0=sched0,
+        )
+        if done:
+            i += done
+            clock = clock_after
+        else:
+            # reference path for the one IO the kernel refused (GC
+            # fires, verification raises, ...) — then try again
+            clock = device.submit_into(
+                trace, i, int(lbas[i]), int(sizes[i]), bool(writes[i]),
+                sched0, sched0,
+            )
+            i += 1
+    return True

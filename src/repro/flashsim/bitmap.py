@@ -1,0 +1,59 @@
+"""Packed boolean bitmaps for dense FTL state.
+
+The FTL families keep their hot bookkeeping as numpy boolean masks —
+one bit of information per page or per block (page validity, block
+freeness, log-position liveness) stored as a ``bool`` array so victim
+scans, invariant checks and the closed-form kernels can operate on
+dense buffers with single vectorized expressions.
+
+For snapshots and IPC the masks collapse 8:1 into :class:`PackedBits`
+(``np.packbits`` under the hood): an immutable value object that the
+snapshot fast-copy passes through by reference, so repeated
+snapshot/restore cycles of a large device never re-copy the mask bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class PackedBits:
+    """An immutable, 8:1-packed boolean vector (snapshot form).
+
+    ``data`` holds ``np.packbits`` output (big-endian within each byte)
+    and ``size`` the original element count, since packing pads the last
+    byte.  Frozen + bytes-backed, so snapshot copies share it safely.
+    """
+
+    data: bytes
+    size: int
+
+    def unpack(self) -> np.ndarray:
+        """Expand back into a ``bool`` ndarray of the original length."""
+        bits = np.unpackbits(
+            np.frombuffer(self.data, dtype=np.uint8), count=self.size
+        )
+        return bits.astype(bool)
+
+
+def pack_bits(mask: np.ndarray) -> PackedBits:
+    """Collapse a boolean mask into its packed snapshot form."""
+    mask = np.asarray(mask, dtype=bool)
+    return PackedBits(data=np.packbits(mask).tobytes(), size=int(mask.size))
+
+
+def mask_from_indices(indices, size: int) -> np.ndarray:
+    """Boolean mask of length ``size`` with ``indices`` set (e.g. a
+    free-block bitmap derived from the allocation deque)."""
+    mask = np.zeros(size, dtype=bool)
+    if not isinstance(indices, np.ndarray):
+        indices = np.fromiter(indices, dtype=np.int64)
+    if indices.size:
+        mask[indices] = True
+    return mask
+
+
+__all__ = ["PackedBits", "pack_bits", "mask_from_indices"]

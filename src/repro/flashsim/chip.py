@@ -27,6 +27,7 @@ from typing import Protocol
 import numpy as np
 
 from repro.errors import BadBlockError, EnduranceError, EraseError, ProgramError
+from repro.flashsim.bitmap import pack_bits
 from repro.flashsim.geometry import Geometry
 
 #: token value of a page in the erased state
@@ -275,13 +276,15 @@ class FlashChip:
 
         Part of the device snapshot/restore protocol: the returned
         object is independent of the live chip, so one snapshot
-        supports any number of restores.
+        supports any number of restores.  The bad-block mask is held as
+        :class:`~repro.flashsim.bitmap.PackedBits` — one bit per block
+        instead of one byte.
         """
         return {
             "tokens": self._tokens.copy(),
             "write_point": self._write_point.copy(),
             "erase_count": self._erase_count.copy(),
-            "bad": self._bad.copy(),
+            "bad": pack_bits(self._bad),
             "stats": replace(self.stats),
         }
 
@@ -291,7 +294,7 @@ class FlashChip:
         self._tokens = state["tokens"].copy()
         self._write_point = state["write_point"].copy()
         self._erase_count = state["erase_count"].copy()
-        self._bad = state["bad"].copy()
+        self._bad = state["bad"].unpack()
         self.stats = replace(state["stats"])
 
     def update_digest(self, hasher) -> None:
@@ -346,6 +349,12 @@ class FlashChip:
     def erase_counts(self) -> np.ndarray:
         """Copy of the per-block erase counters (for wear statistics)."""
         return self._erase_count.copy()
+
+    def erased_mask(self) -> np.ndarray:
+        """Boolean bitmap of fully-erased blocks (write point at 0) —
+        the dense form of :meth:`is_erased` for whole-pool invariant
+        checks."""
+        return self._write_point == 0
 
     def plane_of(self, block: int) -> int:
         """Plane a block belongs to (even blocks plane 0, odd plane 1)."""

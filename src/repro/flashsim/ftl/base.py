@@ -5,11 +5,14 @@ logical block addresses and flash pages, trading expensive in-place
 writes (with their erases) for writes onto free pages, at the price of
 page reclamation later.  The exact design varies per device and is
 undocumented — which is why uFLIP treats devices as black boxes.  The
-simulator implements three FTL families that span the 2008 design space:
+simulator implements four FTL families that span the 2008 design space:
 
 * :class:`~repro.flashsim.ftl.hybrid.HybridLogFTL` — block-mapped data
   with a pool of page-mapped *log blocks* and switch/partial/full merges
   (high-end and mid-range SSDs);
+* :class:`~repro.flashsim.ftl.fast.FastFTL` — fully-shared
+  arrival-ordered log blocks with full merges at reclamation (the FAST
+  design point);
 * :class:`~repro.flashsim.ftl.blockmap.BlockMapFTL` — strict block
   mapping with replacement blocks (USB sticks, SD cards);
 * :class:`~repro.flashsim.ftl.pagemap.PageMapFTL` — fully page-mapped
@@ -19,6 +22,12 @@ All FTLs speak **logical pages** (the controller converts byte extents)
 and record their physical work in a
 :class:`~repro.flashsim.timing.CostAccumulator`; they never deal in
 microseconds directly.
+
+State is kept in two tiers (see ``docs/simulator.md``): an
+authoritative core — the structures named in ``_STATE_ATTRS``, which
+snapshots copy — and dense derived state (free/valid bitmaps, inverse
+maps, GC buckets) that mirrors the core for vectorized scans and is
+rebuilt by ``restore()`` rather than snapshotted.
 """
 
 from __future__ import annotations
@@ -224,9 +233,12 @@ class BaseFTL(ABC):
     # ------------------------------------------------------------------
 
     def snapshot(self) -> dict:
-        """Deep copy of the FTL's mutable state (mapping tables, free
-        pool, open logs, pending reclamation, counters).
+        """Deep copy of the FTL's *authoritative* state (mapping tables,
+        free pool, open logs, pending reclamation, counters).
 
+        Derived structures — the free/valid bitmaps, inverse maps and
+        GC buckets mirroring the core — are deliberately excluded; each
+        family's :meth:`restore` rebuilds them, keeping snapshots small.
         The chip is snapshot separately by the device; the FTL keeps
         referring to the same :class:`FlashChip` object across restores.
         """

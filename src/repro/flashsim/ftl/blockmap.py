@@ -33,6 +33,7 @@ import numpy as np
 from repro.errors import FTLError, OutOfSpaceError
 from repro.flashsim.chip import ERASED, FlashChip
 from repro.flashsim.ftl.base import BaseFTL
+from repro.flashsim.bitmap import mask_from_indices
 from repro.flashsim.ftl.hybrid import FILLER_TOKEN
 from repro.flashsim.geometry import Geometry
 from repro.flashsim.timing import CostAccumulator
@@ -96,6 +97,10 @@ class BlockMapFTL(BaseFTL):
             )
         self._data_map = np.full(geometry.logical_blocks, -1, dtype=np.int64)
         self._free: deque[int] = deque(range(geometry.physical_blocks))
+        # dense free-block bitmap mirroring the queue (membership only;
+        # the queue keeps the allocation order) — derived state, rebuilt
+        # on restore rather than snapshotted
+        self._free_map = np.ones(geometry.physical_blocks, dtype=bool)
         self._open: OrderedDict[int, _Replacement] = OrderedDict()
         self.finalize_count = 0
 
@@ -218,7 +223,9 @@ class BlockMapFTL(BaseFTL):
             self._finalize(victim, cost)
         if not self._free:
             raise OutOfSpaceError("block-map FTL exhausted all free blocks")
-        rep = _Replacement(lblock, self._free.popleft())
+        block = self._free.popleft()
+        self._free_map[block] = False
+        rep = _Replacement(lblock, block)
         self._open[lblock] = rep
         return rep
 
@@ -256,6 +263,7 @@ class BlockMapFTL(BaseFTL):
         if old >= 0:
             self.chip.erase(old)
             sub.block_erases += 1
+            self._free_map[old] = True
             self._free.append(old)
         self.finalize_count += 1
         sub.note("finalize")
@@ -291,6 +299,13 @@ class BlockMapFTL(BaseFTL):
     # introspection & invariants
     # ------------------------------------------------------------------
 
+    def restore(self, state: dict) -> None:
+        """See :meth:`BaseFTL.restore`; rebuilds the free bitmap."""
+        super().restore(state)
+        self._free_map = mask_from_indices(
+            self._free, self.geometry.physical_blocks
+        )
+
     def metrics(self) -> dict[str, float]:
         """See :meth:`BaseFTL.metrics`: replacement-block finalisations."""
         return {"finalizations": float(self.finalize_count)}
@@ -304,31 +319,36 @@ class BlockMapFTL(BaseFTL):
         return len(self._open)
 
     def check_invariants(self) -> None:
-        """Verify block conservation and replacement/chip consistency."""
-        roles: dict[int, str] = {}
+        """Verify block conservation and replacement/chip consistency.
 
-        def claim(block: int, role: str) -> None:
-            if block in roles:
-                raise FTLError(
-                    f"physical block {block} has two roles: {roles[block]} and {role}"
-                )
-            roles[block] = role
-
-        for block in self._free:
-            claim(block, "free")
-            if not self.chip.is_erased(block):
-                raise FTLError(f"free block {block} is not erased")
+        All bulk checks run on dense buffers: the free bitmap against
+        the queue and the chip's erased mask, role conservation as a
+        vectorized claim count, and per-replacement write points.
+        """
+        nblocks = self.geometry.physical_blocks
+        free_idx = np.fromiter(self._free, dtype=np.int64, count=len(self._free))
+        if not np.array_equal(np.sort(free_idx), np.flatnonzero(self._free_map)):
+            raise FTLError("free queue out of sync with the free bitmap")
+        not_erased = self._free_map & ~self.chip.erased_mask()
+        if not_erased.any():
+            block = int(np.flatnonzero(not_erased)[0])
+            raise FTLError(f"free block {block} is not erased")
+        claims = np.zeros(nblocks, dtype=np.int64)
+        claims[self._free_map] += 1
+        data = self._data_map[self._data_map >= 0]
+        np.add.at(claims, data, 1)
         for rep in self._open.values():
-            claim(rep.pblock, f"replacement[{rep.lblock}]")
+            claims[rep.pblock] += 1
             if self.chip.write_point(rep.pblock) != rep.next_offset:
                 raise FTLError(
                     f"replacement for lblock {rep.lblock} desynchronised from chip"
                 )
-        for lblock, pblock in enumerate(self._data_map):
-            if pblock >= 0:
-                claim(int(pblock), f"data[{lblock}]")
-        if len(roles) != self.geometry.physical_blocks:
+        if (claims > 1).any():
+            block = int(np.flatnonzero(claims > 1)[0])
+            raise FTLError(f"physical block {block} has two roles")
+        claimed = int(np.count_nonzero(claims))
+        if claimed != nblocks:
             raise FTLError(
-                f"block conservation violated: {len(roles)} of "
-                f"{self.geometry.physical_blocks} physical blocks accounted for"
+                f"block conservation violated: {claimed} of "
+                f"{nblocks} physical blocks accounted for"
             )

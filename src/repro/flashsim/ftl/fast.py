@@ -29,6 +29,7 @@ import numpy as np
 from repro.errors import FTLError, OutOfSpaceError
 from repro.flashsim.chip import ERASED, FlashChip
 from repro.flashsim.ftl.base import BaseFTL
+from repro.flashsim.bitmap import mask_from_indices
 from repro.flashsim.ftl.hybrid import FILLER_TOKEN
 from repro.flashsim.geometry import Geometry
 from repro.flashsim.timing import CostAccumulator
@@ -50,15 +51,21 @@ class FastConfig:
 
 
 class _SharedLog:
-    """One shared log block: arrival-ordered pages of any logical block."""
+    """One shared log block: arrival-ordered pages of any logical block.
 
-    __slots__ = ("pblock", "next_pos", "live")
+    ``lpage_of`` is the dense liveness map: position ``p`` holds the
+    logical page whose *newest* copy lives at that position, or -1 once
+    a later write supersedes it.  ``lpage_of >= 0`` is the log's live
+    bitmap — reclamation derives the victim's distinct logical blocks
+    from it with one vectorized scan instead of iterating a set.
+    """
 
-    def __init__(self, pblock: int) -> None:
+    __slots__ = ("pblock", "next_pos", "lpage_of")
+
+    def __init__(self, pblock: int, pages_per_block: int) -> None:
         self.pblock = pblock
         self.next_pos = 0
-        #: logical pages whose *newest* copy lives in this log
-        self.live: set[int] = set()
+        self.lpage_of = np.full(pages_per_block, -1, dtype=np.int64)
 
 
 class _SeqLog:
@@ -104,6 +111,8 @@ class FastFTL(BaseFTL):
             )
         self._data_map = np.full(geometry.logical_blocks, -1, dtype=np.int64)
         self._free: deque[int] = deque(range(geometry.physical_blocks))
+        # free-pool bitmap mirroring the queue (derived, not snapshotted)
+        self._free_map = np.ones(geometry.physical_blocks, dtype=bool)
         #: lpage -> (shared log, position) of the newest logged copy
         self._shared_map: dict[int, tuple[_SharedLog, int]] = {}
         self._ring: deque[_SharedLog] = deque()
@@ -198,7 +207,7 @@ class FastFTL(BaseFTL):
         if old >= 0:
             self.chip.erase(old)
             sub.block_erases += 1
-            self._free.append(old)
+            self._free_put(old)
         self._seq = None
         self.merge_stats["switch"] += 1
         sub.note("switch-merge")
@@ -213,7 +222,7 @@ class FastFTL(BaseFTL):
         self._merge_block(seq.lblock, seq_log=seq, cost=sub)
         self.chip.erase(seq.pblock)
         sub.block_erases += 1
-        self._free.append(seq.pblock)
+        self._free_put(seq.pblock)
         cost.end_scope("merge", sub)
 
     # -- shared ring ----------------------------------------------------
@@ -222,7 +231,7 @@ class FastFTL(BaseFTL):
         if self._current is None or self._current.next_pos == self.geometry.pages_per_block:
             if len(self._ring) >= self.config.shared_log_blocks:
                 self._reclaim_oldest(cost)
-            log = _SharedLog(self._take_free(cost))
+            log = _SharedLog(self._take_free(cost), self.geometry.pages_per_block)
             self._ring.append(log)
             self._current = log
         log = self._current
@@ -230,13 +239,14 @@ class FastFTL(BaseFTL):
         cost.page_programs += 1
         self._drop_shared_entry(lpage)
         self._shared_map[lpage] = (log, log.next_pos)
-        log.live.add(lpage)
+        log.lpage_of[log.next_pos] = lpage
         log.next_pos += 1
 
     def _drop_shared_entry(self, lpage: int) -> None:
         entry = self._shared_map.pop(lpage, None)
         if entry is not None:
-            entry[0].live.discard(lpage)
+            log, position = entry
+            log.lpage_of[position] = -1
 
     def _reclaim_oldest(self, cost: CostAccumulator) -> None:
         """FAST's reclamation: fully merge every logical block that
@@ -254,15 +264,16 @@ class FastFTL(BaseFTL):
         if victim is self._current:
             self._current = None
         ppb = self.geometry.pages_per_block
-        blocks = {lpage // ppb for lpage in victim.live}
+        live = victim.lpage_of[victim.lpage_of >= 0]
+        blocks = np.unique(live // ppb)  # distinct lblocks, ascending
         sub = cost.begin_scope()
-        for lblock in sorted(blocks):
-            self._merge_block(lblock, seq_log=None, cost=sub)
-        if victim.live:
+        for lblock in blocks.tolist():
+            self._merge_block(int(lblock), seq_log=None, cost=sub)
+        if bool((victim.lpage_of >= 0).any()):
             raise FTLError("shared log still live after reclaiming its blocks")
         self.chip.erase(victim.pblock)
         sub.block_erases += 1
-        self._free.append(victim.pblock)
+        self._free_put(victim.pblock)
         self.merge_stats["log-reclaims"] += 1
         sub.note("log-reclaim")
         cost.end_scope("merge", sub)
@@ -315,7 +326,7 @@ class FastFTL(BaseFTL):
         if old >= 0:
             self.chip.erase(old)
             sub.block_erases += 1
-            self._free.append(old)
+            self._free_put(old)
         self.merge_stats["full"] += 1
         sub.note("full-merge")
         cost.end_scope("merge", sub)
@@ -327,11 +338,29 @@ class FastFTL(BaseFTL):
             self._reclaim_oldest(cost)
         if not self._free:
             raise OutOfSpaceError("FAST FTL exhausted all free blocks")
-        return self._free.popleft()
+        return self._free_pop()
+
+    def _free_pop(self) -> int:
+        """Take the oldest free block, keeping the bitmap in sync."""
+        block = self._free.popleft()
+        self._free_map[block] = False
+        return block
+
+    def _free_put(self, block: int) -> None:
+        """Return an erased block to the pool, keeping the bitmap in sync."""
+        self._free_map[block] = True
+        self._free.append(block)
 
     # ------------------------------------------------------------------
     # introspection & invariants
     # ------------------------------------------------------------------
+
+    def restore(self, state: dict) -> None:
+        """See :meth:`BaseFTL.restore`; rebuilds the free bitmap."""
+        super().restore(state)
+        self._free_map = mask_from_indices(
+            self._free, self.geometry.physical_blocks
+        )
 
     def metrics(self) -> dict[str, float]:
         """See :meth:`BaseFTL.metrics`: switch merges, full merges, ring reclaims."""
@@ -365,10 +394,15 @@ class FastFTL(BaseFTL):
                 )
             roles[block] = role
 
+        free_idx = np.fromiter(self._free, dtype=np.int64, count=len(self._free))
+        if not np.array_equal(np.sort(free_idx), np.flatnonzero(self._free_map)):
+            raise FTLError("free queue out of sync with the free bitmap")
+        not_erased = self._free_map & ~self.chip.erased_mask()
+        if not_erased.any():
+            block = int(np.flatnonzero(not_erased)[0])
+            raise FTLError(f"free block {block} is not erased")
         for block in self._free:
             claim(block, "free")
-            if not self.chip.is_erased(block):
-                raise FTLError(f"free block {block} is not erased")
         for log in self._ring:
             claim(log.pblock, "shared-log")
         if self._seq is not None:
@@ -385,12 +419,17 @@ class FastFTL(BaseFTL):
         for lpage, (log, position) in self._shared_map.items():
             if id(log) not in ring_logs:
                 raise FTLError(f"shared entry for {lpage} points outside the ring")
-            if lpage not in log.live:
-                raise FTLError(f"shared entry for {lpage} not in its log's live set")
+            if int(log.lpage_of[position]) != lpage:
+                raise FTLError(
+                    f"shared entry for {lpage} not live at its log position"
+                )
             if position >= log.next_pos:
                 raise FTLError(f"shared entry for {lpage} beyond the log write point")
         for log in self._ring:
-            for lpage in log.live:
+            if bool((log.lpage_of[log.next_pos :] >= 0).any()):
+                raise FTLError("live positions beyond a shared log's write point")
+            for position in np.flatnonzero(log.lpage_of >= 0).tolist():
+                lpage = int(log.lpage_of[position])
                 entry = self._shared_map.get(lpage)
-                if entry is None or entry[0] is not log:
+                if entry is None or entry[0] is not log or entry[1] != position:
                     raise FTLError(f"live page {lpage} not mapped to its log")

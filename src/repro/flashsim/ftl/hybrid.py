@@ -52,6 +52,7 @@ import numpy as np
 from repro.errors import FTLError, OutOfSpaceError
 from repro.flashsim.chip import ERASED, FlashChip
 from repro.flashsim.ftl.base import BaseFTL
+from repro.flashsim.bitmap import mask_from_indices
 from repro.flashsim.geometry import Geometry
 from repro.flashsim.timing import CostAccumulator
 
@@ -89,22 +90,29 @@ class HybridConfig:
 
 
 class _LogBlock:
-    """One log block: physical block + page map of what landed where."""
+    """One log block: physical block + dense page map of what landed where.
 
-    __slots__ = ("lblock", "pblock", "next_pos", "latest", "in_order")
+    ``pos_of`` maps each page offset of the logical block to the log
+    position holding its newest copy (-1 = not in this log) — an int16
+    vector instead of a dict, so reads, merges and invariant checks
+    index it directly and merge scans are single vectorized expressions.
+    """
 
-    def __init__(self, lblock: int, pblock: int) -> None:
+    __slots__ = ("lblock", "pblock", "next_pos", "pos_of", "in_order")
+
+    def __init__(self, lblock: int, pblock: int, pages_per_block: int) -> None:
         self.lblock = lblock
         self.pblock = pblock
         self.next_pos = 0  # next program position (chip write point)
-        self.latest: dict[int, int] = {}  # page offset -> latest log position
+        # page offset -> latest log position (-1 = absent)
+        self.pos_of = np.full(pages_per_block, -1, dtype=np.int16)
         self.in_order = True  # offsets written == 0..next_pos-1 in order
 
     def record(self, offset: int) -> None:
         """Note that ``offset`` was just programmed at ``next_pos``."""
-        if offset != self.next_pos or offset in self.latest:
+        if offset != self.next_pos or self.pos_of[offset] >= 0:
             self.in_order = False
-        self.latest[offset] = self.next_pos
+        self.pos_of[offset] = self.next_pos
         self.next_pos += 1
 
 
@@ -147,8 +155,10 @@ class HybridLogFTL(BaseFTL):
             )
         # logical block -> physical data block (-1 = never written)
         self._data_map = np.full(geometry.logical_blocks, -1, dtype=np.int64)
-        # erased blocks, FIFO for dynamic wear rotation
+        # erased blocks, FIFO for dynamic wear rotation; the bitmap
+        # mirrors membership for dense checks (derived, not snapshotted)
         self._free: deque[int] = deque(range(geometry.physical_blocks))
+        self._free_map = np.ones(geometry.physical_blocks, dtype=bool)
         # open logs, LRU first, split into the two tiers: sequential
         # (stream) logs and random logs
         self._open_seq: OrderedDict[int, _LogBlock] = OrderedDict()
@@ -185,9 +195,11 @@ class HybridLogFTL(BaseFTL):
             candidates.append(open_log)
         candidates.extend(reversed(self._pending_by_lblock.get(lblock, ())))
         for log in candidates:
-            if offset in log.latest:
+            if log.pos_of[offset] >= 0:
                 cost.page_reads += 1
-                return self._decode(self.chip.read(log.pblock, log.latest[offset]))
+                return self._decode(
+                    self.chip.read(log.pblock, int(log.pos_of[offset]))
+                )
         data = int(self._data_map[lblock])
         if data < 0:
             return ERASED
@@ -323,7 +335,7 @@ class HybridLogFTL(BaseFTL):
         if len(pool) >= self._pool_capacity(pool):
             self._retire_open(next(iter(pool)))  # LRU
         pblock = self._take_free(cost)
-        log = _LogBlock(lblock, pblock)
+        log = _LogBlock(lblock, pblock, self.geometry.pages_per_block)
         pool[lblock] = log
         return log
 
@@ -337,7 +349,18 @@ class HybridLogFTL(BaseFTL):
         a block's first page (the Order micro-benchmark's Incr = 0) from
         flooding the device with one-page log generations.
         """
-        return offset == 0 and log.next_pos != 0 and 0 not in log.latest
+        return offset == 0 and log.next_pos != 0 and log.pos_of[0] < 0
+
+    def _free_pop(self) -> int:
+        """Take the oldest free block, keeping the bitmap in sync."""
+        block = self._free.popleft()
+        self._free_map[block] = False
+        return block
+
+    def _free_put(self, block: int) -> None:
+        """Return an erased block to the pool, keeping the bitmap in sync."""
+        self._free_map[block] = True
+        self._free.append(block)
 
     def _defer(self, log: _LogBlock) -> None:
         """Queue a closed log for a deferred merge (age order)."""
@@ -388,7 +411,7 @@ class HybridLogFTL(BaseFTL):
             self._pending.remove(log)
             self.chip.erase(log.pblock)
             sub.block_erases += 1
-            self._free.append(log.pblock)
+            self._free_put(log.pblock)
             sub.note("superseded")
         cost.end_scope("merge", sub)
 
@@ -403,7 +426,7 @@ class HybridLogFTL(BaseFTL):
                 break
         if not self._free:
             raise OutOfSpaceError("hybrid FTL exhausted all free blocks")
-        return self._free.popleft()
+        return self._free_pop()
 
     def _reclaim_one(self, cost: CostAccumulator) -> bool:
         """Merge one queued (or, failing that, LRU open) log block.
@@ -438,7 +461,7 @@ class HybridLogFTL(BaseFTL):
         if old >= 0:
             self.chip.erase(old)
             sub.block_erases += 1
-            self._free.append(old)
+            self._free_put(old)
         self.merge_stats["switch"] += 1
         sub.note("switch-merge")
         cost.end_scope("merge", sub)
@@ -455,14 +478,15 @@ class HybridLogFTL(BaseFTL):
         if not self._free:
             raise OutOfSpaceError("no merge reserve block available")
         sub = cost.begin_scope()
-        target = self._free.popleft()
+        target = self._free_pop()
         written = 0
-        highest = max(log.latest) if log.latest else -1
+        logged = np.flatnonzero(log.pos_of >= 0)
+        highest = int(logged[-1]) if logged.size else -1
         if old >= 0:
             highest = max(highest, self.chip.write_point(old) - 1)
         for offset in range(highest + 1):
-            if offset in log.latest:
-                token = self.chip.read(log.pblock, log.latest[offset])
+            if log.pos_of[offset] >= 0:
+                token = self.chip.read(log.pblock, int(log.pos_of[offset]))
                 sub.copy_reads += 1
                 self.merge_copy_reads += 1
             elif old >= 0 and offset < self.chip.write_point(old):
@@ -478,11 +502,11 @@ class HybridLogFTL(BaseFTL):
         self._data_map[log.lblock] = target
         self.chip.erase(log.pblock)
         sub.block_erases += 1
-        self._free.append(log.pblock)
+        self._free_put(log.pblock)
         if old >= 0:
             self.chip.erase(old)
             sub.block_erases += 1
-            self._free.append(old)
+            self._free_put(old)
         self.merge_stats["full"] += 1
         sub.note("full-merge")
         cost.end_scope("merge", sub)
@@ -506,7 +530,7 @@ class HybridLogFTL(BaseFTL):
         if old >= 0:
             self.chip.erase(old)
             sub.block_erases += 1
-            self._free.append(old)
+            self._free_put(old)
         self.merge_stats["partial"] += 1
         sub.note("partial-merge")
         cost.end_scope("merge", sub)
@@ -545,6 +569,13 @@ class HybridLogFTL(BaseFTL):
     # introspection & invariants
     # ------------------------------------------------------------------
 
+    def restore(self, state: dict) -> None:
+        """See :meth:`BaseFTL.restore`; rebuilds the free bitmap."""
+        super().restore(state)
+        self._free_map = mask_from_indices(
+            self._free, self.geometry.physical_blocks
+        )
+
     def metrics(self) -> dict[str, float]:
         """See :meth:`BaseFTL.metrics`: merges by kind and copy volume."""
         return {
@@ -578,10 +609,15 @@ class HybridLogFTL(BaseFTL):
                 )
             roles[block] = role
 
+        free_idx = np.fromiter(self._free, dtype=np.int64, count=len(self._free))
+        if not np.array_equal(np.sort(free_idx), np.flatnonzero(self._free_map)):
+            raise FTLError("free queue out of sync with the free bitmap")
+        not_erased = self._free_map & ~self.chip.erased_mask()
+        if not_erased.any():
+            block = int(np.flatnonzero(not_erased)[0])
+            raise FTLError(f"free block {block} is not erased")
         for block in self._free:
             claim(block, "free")
-            if not self.chip.is_erased(block):
-                raise FTLError(f"free block {block} is not erased")
         for pool_name, pool in (("seq", self._open_seq), ("rnd", self._open_rnd)):
             for log in pool.values():
                 claim(log.pblock, f"open-{pool_name}-log[{log.lblock}]")
@@ -609,3 +645,20 @@ class HybridLogFTL(BaseFTL):
             positions = [queue_position[id(log)] for log in generations]
             if positions != sorted(positions):
                 raise FTLError("per-block pending generations out of age order")
+        # dense page-map consistency: every logged position must lie
+        # below the log's write point, and no two offsets may claim the
+        # same position (each program lands exactly once)
+        all_logs = [
+            *self._open_seq.values(),
+            *self._open_rnd.values(),
+            *self._pending,
+        ]
+        for log in all_logs:
+            logged = log.pos_of[log.pos_of >= 0].astype(np.int64)
+            if logged.size and (
+                int(logged.max()) >= log.next_pos
+                or np.unique(logged).size != logged.size
+            ):
+                raise FTLError(
+                    f"log for lblock {log.lblock} has an inconsistent page map"
+                )

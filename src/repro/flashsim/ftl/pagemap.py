@@ -15,6 +15,15 @@ to cheap GC — the *Locality* effect, emerging mechanically.
 The FTL also implements threshold-based **static wear levelling**:
 when the erase-count spread exceeds a threshold, the coldest data block
 is relocated so its low-wear block re-enters the rotation.
+
+State representation: the direct map ``_l2p`` is the single
+authoritative structure (plus the free deque, whose order is the wear
+rotation).  Everything else — the inverse map ``_p2l``, the per-page
+``_valid_map`` and per-block ``_free_map`` bitmaps, per-block valid
+counts, block states and the min-valid GC buckets — is derived,
+maintained incrementally on the hot path, excluded from snapshots and
+rebuilt wholesale by :meth:`PageMapFTL.restore`.  GC victim scans and
+the analytic write kernel operate directly on the bitmaps.
 """
 
 from __future__ import annotations
@@ -73,11 +82,14 @@ class PageMapFTL(BaseFTL):
     batch_read_capable = True
     batch_write_capable = True
 
+    #: Snapshot core: the direct map, the free queue (its order is the
+    #: allocation order) and the scalars.  Everything else — the inverse
+    #: map, the per-block valid counters, the block states, the valid
+    #: and free bitmaps and the GC buckets — is a pure function of this
+    #: core and is rebuilt by :meth:`restore`, which keeps snapshots at
+    #: roughly half the size of the full working state.
     _STATE_ATTRS = (
         "_l2p",
-        "_p2l",
-        "_valid",
-        "_state",
         "_free",
         "_host_active",
         "_gc_active",
@@ -111,6 +123,12 @@ class PageMapFTL(BaseFTL):
         self._valid = np.zeros(geometry.physical_blocks, dtype=np.int64)
         self._state = np.full(geometry.physical_blocks, _FREE, dtype=np.int8)
         self._free: deque[int] = deque(range(geometry.physical_blocks))
+        # dense bitmaps mirroring the maps above: one bit per physical
+        # page (does it hold a live logical page?) and one per block
+        # (is it in the free pool?) — the buffers GC victim scans and
+        # invariant checks operate on
+        self._valid_map = np.zeros(npages, dtype=bool)
+        self._free_map = np.ones(geometry.physical_blocks, dtype=bool)
         self._host_active = self._allocate_active()
         self._gc_active = self._allocate_active()
         # logical sequence number at which each block was retired to
@@ -137,6 +155,7 @@ class PageMapFTL(BaseFTL):
             raise OutOfSpaceError("page-map FTL exhausted all free blocks")
         block = self._free.popleft()
         self._state[block] = _ACTIVE
+        self._free_map[block] = False
         return block
 
     def _retire_active(self, block: int) -> None:
@@ -378,6 +397,7 @@ class PageMapFTL(BaseFTL):
         mapped = old if bool(remap.all()) else old[remap]
         if mapped.size:
             self._p2l[mapped] = -1
+            self._valid_map[mapped] = False
             dec = np.bincount(
                 mapped // self.geometry.pages_per_block, minlength=self._valid.size
             )
@@ -395,6 +415,7 @@ class PageMapFTL(BaseFTL):
         base = active * self.geometry.pages_per_block + offset
         self._l2p[lpages] = np.arange(base, base + lpages.size, dtype=np.int64)
         self._p2l[base : base + lpages.size] = lpages
+        self._valid_map[base : base + lpages.size] = True
         self._valid[active] += lpages.size
 
     def _invalidate(self, lpage: int) -> None:
@@ -402,6 +423,7 @@ class PageMapFTL(BaseFTL):
         if old >= 0:
             block = old // self.geometry.pages_per_block
             self._p2l[old] = -1
+            self._valid_map[old] = False
             self._valid[block] -= 1
             self._l2p[lpage] = -1
             if self._use_buckets and self._bucket_of[block] >= 0:
@@ -423,6 +445,7 @@ class PageMapFTL(BaseFTL):
         ppage = active * ppb + offset
         self._l2p[lpage] = ppage
         self._p2l[ppage] = lpage
+        self._valid_map[ppage] = True
         self._valid[active] += 1
 
     # ------------------------------------------------------------------
@@ -505,15 +528,17 @@ class PageMapFTL(BaseFTL):
         ppb = self.geometry.pages_per_block
         base = victim * ppb
         write_point = self.chip.write_point(victim)
-        occupants = self._p2l[base : base + write_point]
-        live_offsets = np.flatnonzero(occupants >= 0)
+        # the valid bitmap is the victim scan: one dense slice holds
+        # exactly the offsets whose newest logical copy still lives here
+        live_offsets = np.flatnonzero(self._valid_map[base : base + write_point])
         count = int(live_offsets.size)
         if count:
-            live_lpages = occupants[live_offsets].copy()
+            live_lpages = self._p2l[base + live_offsets].copy()
             tokens = self.chip.read_many(base + live_offsets)
             cost.copy_reads += count
             self.gc_copy_reads += count
             self._p2l[base + live_offsets] = -1
+            self._valid_map[base + live_offsets] = False
             self._valid[victim] -= count
             moved = 0
             while moved < count:
@@ -531,6 +556,7 @@ class PageMapFTL(BaseFTL):
                     start, start + take, dtype=np.int64
                 )
                 self._p2l[start : start + take] = chunk_lpages
+                self._valid_map[start : start + take] = True
                 self._valid[active] += take
                 moved += take
             cost.copy_programs += count
@@ -539,6 +565,7 @@ class PageMapFTL(BaseFTL):
         cost.block_erases += 1
         self._valid[victim] = 0
         self._state[victim] = _FREE
+        self._free_map[victim] = True
         self._free.append(victim)
 
     def _relocate_block_scalar(self, victim: int, cost: CostAccumulator) -> None:
@@ -560,6 +587,7 @@ class PageMapFTL(BaseFTL):
         cost.block_erases += 1
         self._valid[victim] = 0
         self._state[victim] = _FREE
+        self._free_map[victim] = True
         self._free.append(victim)
 
     # ------------------------------------------------------------------
@@ -617,8 +645,38 @@ class PageMapFTL(BaseFTL):
     # ------------------------------------------------------------------
 
     def restore(self, state: dict) -> None:
-        """See :meth:`BaseFTL.restore`; rebuilds the derived GC buckets."""
+        """See :meth:`BaseFTL.restore`; rebuilds all derived state."""
         super().restore(state)
+        self._rebuild_derived()
+
+    def _rebuild_derived(self) -> None:
+        """Recompute everything the snapshot core determines.
+
+        The core is ``_l2p`` + the free queue + the two active blocks
+        (plus scalars); from it the inverse map, the valid bitmap, the
+        per-block valid counters, the block states, the free bitmap and
+        the GC buckets are all derived with a handful of vectorized
+        scatter/bincount operations — so snapshots need not carry them.
+        """
+        geometry = self.geometry
+        mapped_lpages = np.flatnonzero(self._l2p >= 0)
+        mapped = self._l2p[mapped_lpages]
+        self._p2l = np.full(geometry.physical_pages, -1, dtype=np.int64)
+        self._p2l[mapped] = mapped_lpages
+        self._valid_map = self._p2l >= 0
+        self._valid = np.bincount(
+            mapped // geometry.pages_per_block,
+            minlength=geometry.physical_blocks,
+        ).astype(np.int64)
+        self._free_map = np.zeros(geometry.physical_blocks, dtype=bool)
+        if self._free:
+            self._free_map[
+                np.fromiter(self._free, dtype=np.int64, count=len(self._free))
+            ] = True
+        self._state = np.full(geometry.physical_blocks, _DATA, dtype=np.int8)
+        self._state[self._free_map] = _FREE
+        self._state[self._host_active] = _ACTIVE
+        self._state[self._gc_active] = _ACTIVE
         self._rebuild_buckets()
 
     def metrics(self) -> dict[str, float]:
@@ -635,10 +693,18 @@ class PageMapFTL(BaseFTL):
         return len(self._free)
 
     def check_invariants(self) -> None:
-        """Verify map/inverse-map agreement, valid counters and block states."""
+        """Verify map/inverse-map agreement, valid counters, bitmaps and
+        block states — all on dense buffers."""
         ppb = self.geometry.pages_per_block
-        if sorted(self._free) != sorted(np.flatnonzero(self._state == _FREE).tolist()):
-            raise FTLError("free queue out of sync with block states")
+        if not np.array_equal(self._free_map, self._state == _FREE):
+            raise FTLError("free bitmap out of sync with block states")
+        if not np.array_equal(self._valid_map, self._p2l >= 0):
+            raise FTLError("valid bitmap out of sync with the inverse map")
+        free_sorted = np.sort(
+            np.fromiter(self._free, dtype=np.int64, count=len(self._free))
+        )
+        if not np.array_equal(free_sorted, np.flatnonzero(self._free_map)):
+            raise FTLError("free queue out of sync with the free bitmap")
         mapped_lpages = np.flatnonzero(self._l2p >= 0)
         mapped = self._l2p[mapped_lpages]
         if len(np.unique(mapped)) != len(mapped):

@@ -30,6 +30,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Iterator, Sequence
 
+from repro.flashsim import analytic
 from repro.flashsim.device import FlashDevice
 from repro.flashsim.trace import IOTrace
 from repro.iotypes import CompletedIO, IORequest
@@ -75,9 +76,21 @@ class SyncHost:
         Table 1) and records each IO straight into a columnar
         :class:`~repro.flashsim.trace.IOTrace` — no request/completion
         objects.  Timing semantics are identical to :meth:`run`.
+
+        Back-to-back (zero-gap, zero-overhead) programs on qualifying
+        devices first try the closed-form run kernels
+        (:mod:`repro.flashsim.analytic`), which simulate whole
+        transition-free windows on columns and decay to this loop's
+        per-IO path at every window boundary.  The kernels return
+        ``False`` without touching any state when the program or device
+        disqualifies, so the reference loop below always starts clean.
         """
         count = len(program)
         trace = IOTrace(capacity=count)
+        if count and analytic.run_program_into(
+            self.device, program, trace, start_at, self.os_overhead_usec
+        ):
+            return trace
         lbas = program.lbas.tolist()
         sizes = program.sizes.tolist()
         writes = program.writes.tolist()

@@ -18,6 +18,11 @@ Two properties make snapshots safe to share:
   it onto freshly built devices; because the simulator is deterministic
   the workers' results are bit-identical to a sequential execution.
 
+Snapshots hold only *authoritative* state: FTL-derived structures
+(free/valid bitmaps, inverse maps, GC buckets) are rebuilt on restore,
+and the chip's bad-block mask travels packed one-bit-per-block
+(:class:`~repro.flashsim.bitmap.PackedBits`).
+
 Every stateful layer participates: :class:`~repro.flashsim.chip.FlashChip`
 (tokens, write points, wear counters, bad blocks), each ``ftl/*``
 family (via :attr:`~repro.flashsim.ftl.base.BaseFTL._STATE_ATTRS`),

@@ -312,6 +312,61 @@ class IOTrace:
             self._record_attr(row, cost.attribution)
         self._response_cache = None
 
+    def record_run(
+        self,
+        row0: int,
+        lbas: np.ndarray,
+        sizes: np.ndarray,
+        write: bool,
+        scheduled_at: np.ndarray,
+        submitted_at: np.ndarray,
+        started_at: np.ndarray,
+        completed_at: np.ndarray,
+        *,
+        page_reads: np.ndarray | None = None,
+        page_programs: np.ndarray | None = None,
+        bytes_transferred: np.ndarray | None = None,
+        map_misses: np.ndarray | None = None,
+    ) -> None:
+        """Record a contiguous run of same-mode IOs from column arrays.
+
+        The bulk counterpart of :meth:`record_at` used by the analytic
+        run kernels (:mod:`repro.flashsim.analytic`): rows
+        ``row0 .. row0+n-1`` are filled in one vectorized store per
+        column, with ``index = row``.  Omitted cost columns stay zero
+        (closed-form windows perform no copies or erases and carry no
+        notes); each row must be recorded exactly once, like
+        :meth:`record_at`.
+        """
+        n = int(lbas.size)
+        if n == 0:
+            return
+        if row0 < 0:
+            raise IndexError("trace row must be non-negative")
+        end = row0 + n
+        if end > self._capacity:
+            self._grow(end)
+        if end > self._n:
+            self._n = end
+        rows = slice(row0, end)
+        self._index[rows] = np.arange(row0, end, dtype=np.int64)
+        self._lba[rows] = lbas
+        self._size[rows] = sizes
+        self._write[rows] = write
+        self._scheduled_at[rows] = scheduled_at
+        self._submitted_at[rows] = submitted_at
+        self._started_at[rows] = started_at
+        self._completed_at[rows] = completed_at
+        if page_reads is not None:
+            self._page_reads[rows] = page_reads
+        if page_programs is not None:
+            self._page_programs[rows] = page_programs
+        if bytes_transferred is not None:
+            self._bytes_transferred[rows] = bytes_transferred
+        if map_misses is not None:
+            self._map_misses[rows] = map_misses
+        self._response_cache = None
+
     def _record_attr(self, row: int, attribution: tuple) -> None:
         """Store one IO's latency decomposition (lazy first allocation)."""
         if self._attr is None:

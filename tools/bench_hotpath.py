@@ -26,7 +26,9 @@ Usage::
     python tools/bench_hotpath.py --quick --baseline BENCH_hotpath.json
 
 With ``--baseline``, the run fails (exit 1) if any shared workload's
-``usec_per_io`` regresses more than 2x against the committed numbers —
+``usec_per_io`` regresses more than 2x against the committed numbers,
+or if a profile's enforce *speedup* (the scalar/batch ratio, which is
+largely machine-independent) drops below half the committed ratio —
 the CI perf-smoke gate.
 """
 
@@ -65,6 +67,12 @@ PATTERN_ORDER = ("SR", "RR", "SW", "RW")
 
 #: regression gate used by --baseline (CI perf smoke)
 REGRESSION_FACTOR = 2.0
+
+#: fraction of the committed enforce speedup (scalar/batch ratio) a
+#: gated run must retain.  Unlike raw usec_per_io the ratio cancels out
+#: machine speed, so a drop below this almost always means the batch or
+#: analytic fast path stopped engaging, not a slow runner.
+SPEEDUP_RETENTION = 0.5
 
 DEFAULT_PROFILES = ("ideal_pagemap", "memoright", "kingston_dti")
 
@@ -293,10 +301,23 @@ def bench_recorder(
     return {key: _entry(sec, io_count) for key, sec in best_sec.items()}
 
 
+def _enforce_speedup(
+    entries: dict[str, dict[str, float]], profile: str
+) -> float | None:
+    """Enforce speedup (scalar over batch usec/io) for one profile, or
+    None when either side is absent (e.g. --batch-only runs)."""
+    batch = entries.get(f"{profile}/enforce")
+    scalar = entries.get(f"{profile}/enforce/scalar")
+    if not batch or not scalar:
+        return None
+    return scalar["usec_per_io"] / max(batch["usec_per_io"], 1e-9)
+
+
 def check_baseline(
     results: dict[str, dict[str, float]], baseline_path: Path
 ) -> list[str]:
-    """Workloads whose usec_per_io regressed past the gate."""
+    """Workloads whose usec_per_io (or enforce speedup) regressed past
+    the gate."""
     baseline = json.loads(baseline_path.read_text())
     regressions = []
     for workload, entry in results.items():
@@ -308,6 +329,19 @@ def check_baseline(
             regressions.append(
                 f"{workload}: {entry['usec_per_io']} usec/io vs "
                 f"baseline {old['usec_per_io']} (> {REGRESSION_FACTOR}x)"
+            )
+    # the speedup gate: machine-independent, so far tighter than the
+    # absolute-time factor — it trips when the fast path stops engaging
+    profiles = {w.rsplit("/", 1)[0] for w in results if w.endswith("/enforce")}
+    for profile in sorted(profiles):
+        new_ratio = _enforce_speedup(results, profile)
+        old_ratio = _enforce_speedup(baseline, profile)
+        if new_ratio is None or old_ratio is None:
+            continue
+        if new_ratio < SPEEDUP_RETENTION * old_ratio:
+            regressions.append(
+                f"{profile}: enforce speedup {new_ratio:.2f}x vs baseline "
+                f"{old_ratio:.2f}x (< {SPEEDUP_RETENTION}x retention)"
             )
     return regressions
 
