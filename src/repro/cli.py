@@ -343,54 +343,70 @@ def _run_campaign(args: argparse.Namespace) -> int:
 
     profiles = [name.strip() for name in args.device.split(",") if name.strip()]
     capacity = parse_size(args.capacity) if args.capacity else None
+    legacy = getattr(args, "dispatch", "warm") == "legacy"
     executor = CampaignExecutor(
         jobs=args.jobs,
         cache=args.cache or None,
         enforce=not args.skip_state,
         enforce_seed=97,
         attribution=args.attribution,
+        share_snapshots=not legacy,
+        warm_workers=not legacy,
+        pipeline_prepare=not legacy,
     )
     registry = obs_metrics.install() if args.metrics else None
     tracer = obs_tracing.install() if args.trace else None
     all_outcomes = []
     try:
+        # One cell list across every profile, executed in a single pass:
+        # with jobs > 1 the executor then enforces independent profiles
+        # concurrently while early-prepared profiles already run cells,
+        # instead of serializing the campaign profile by profile.
+        cells = []
         for profile in profiles:
-            cells = plan_cells(
-                profile,
-                capacity,
-                args.benchmarks,
-                io_size=parse_size(args.io_size),
-                io_count=args.count,
-                io_ignore=args.ignore,
-                pause_usec=args.pause * SEC,
+            cells.extend(
+                plan_cells(
+                    profile,
+                    capacity,
+                    args.benchmarks,
+                    io_size=parse_size(args.io_size),
+                    io_count=args.count,
+                    io_ignore=args.ignore,
+                    pause_usec=args.pause * SEC,
+                )
             )
-            reporter = ProgressReporter(total=len(cells), label=profile)
-            outcomes = executor.execute(
-                cells, status=reporter.status, progress=reporter.cell_done
-            )
-            all_outcomes.extend(outcomes)
-            cached = sum(1 for outcome in outcomes if outcome.cached)
+        reporter = ProgressReporter(total=len(cells), label=",".join(profiles))
+        outcomes = executor.execute(
+            cells, status=reporter.status, progress=reporter.cell_done
+        )
+        all_outcomes.extend(outcomes)
+        for profile in profiles:
+            profile_outcomes = [
+                outcome for outcome in outcomes if outcome.cell.profile == profile
+            ]
+            cached = sum(1 for outcome in profile_outcomes if outcome.cached)
             label = args.label if len(profiles) == 1 else f"{args.label}-{profile}"
             campaign = Campaign(
                 device=profile,
                 label=label,
-                results=results_by_experiment(outcomes),
+                results=results_by_experiment(profile_outcomes),
                 metadata={
                     "io_size": args.io_size,
                     "io_count": str(args.count),
                     "benchmarks": ",".join(args.benchmarks),
                     "jobs": str(args.jobs),
-                    "cells_run": str(len(outcomes) - cached),
+                    "cells_run": str(len(profile_outcomes) - cached),
                     "cells_cached": str(cached),
                 },
             )
             path = campaign.save(Path(args.out))
             print(
                 f"campaign archived to {path} "
-                f"({len(outcomes) - cached} cell(s) run, {cached} from cache)"
+                f"({len(profile_outcomes) - cached} cell(s) run, "
+                f"{cached} from cache)"
             )
             if args.metrics:
-                merged = merge_outcome_metrics(outcomes)
+                merged = merge_outcome_metrics(profile_outcomes)
                 if merged:
                     print(metrics_table(merged, title=f"device metrics: {profile}"))
         if executor.cache is not None:
@@ -402,15 +418,39 @@ def _run_campaign(args: argparse.Namespace) -> int:
                 f"({rate:.0%} hit rate), {fmt_size(cache.bytes_saved)} of "
                 f"simulated IO not re-measured"
             )
+            if args.metrics and cache.profiles:
+                rows = []
+                for profile in sorted(cache.profiles):
+                    stats = cache.profiles[profile]
+                    looked = stats["hits"] + stats["misses"]
+                    rows.append(
+                        (
+                            profile,
+                            str(stats["hits"]),
+                            str(stats["misses"]),
+                            f"{stats['hits'] / looked:.0%}" if looked else "-",
+                            fmt_size(stats["bytes_saved"]),
+                            fmt_size(stats["payload_bytes"]),
+                        )
+                    )
+                print(
+                    format_table(
+                        (
+                            "profile",
+                            "hits",
+                            "misses",
+                            "hit rate",
+                            "sim IO saved",
+                            "payload stored",
+                        ),
+                        rows,
+                    )
+                )
         if args.metrics and registry is not None:
             snapshot = registry.snapshot()
-            core = {
-                name: value
-                for name, value in snapshot.counters.items()
-                if name.startswith("core.")
-            }
-            if core:
-                print(metrics_table(core, title="executor metrics"))
+            core = snapshot.scoped("core.")
+            if core.counters:
+                print(metrics_table(core.counters, title="executor metrics"))
             if snapshot.histograms:
                 print(
                     histogram_table(
@@ -426,6 +466,7 @@ def _run_campaign(args: argparse.Namespace) -> int:
                 Path(args.attribution_out).write_text(report + "\n")
                 print(f"attribution report written to {args.attribution_out}")
     finally:
+        executor.close()
         if args.trace and tracer is not None:
             obs_tracing.uninstall()
             if args.attribution and all_outcomes:
@@ -604,6 +645,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs", type=int, default=1,
         help="worker processes for campaign cells (1 = run inline; "
              "results are identical either way)",
+    )
+    campaign_parser.add_argument(
+        "--dispatch", choices=("warm", "legacy"), default="warm",
+        help="parallel dispatch mode: 'warm' (default) shares enforced "
+             "snapshots through shared memory, keeps worker devices "
+             "resident and pipelines state enforcement; 'legacy' ships a "
+             "pickled snapshot per cell to cold workers (results are "
+             "identical either way)",
     )
     campaign_parser.add_argument(
         "--cache", default="",

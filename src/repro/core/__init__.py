@@ -33,6 +33,7 @@ from repro.core.executor import (
     CampaignExecutor,
     CellOutcome,
     RunCache,
+    SchedulerStats,
     plan_cells,
     results_by_experiment,
 )
@@ -127,6 +128,7 @@ __all__ = [
     "ReplayResult",
     "Run",
     "RunCache",
+    "SchedulerStats",
     "RunStats",
     "StatePool",
     "StateReport",

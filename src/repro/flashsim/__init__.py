@@ -25,7 +25,13 @@ from repro.flashsim.device import (
     QueuedCompletion,
 )
 from repro.flashsim.ftl.base import BaseFTL
-from repro.flashsim.snapshot import DeviceSnapshot
+from repro.flashsim.snapshot import (
+    DeviceSnapshot,
+    PackedSnapshot,
+    SnapshotStore,
+    pack_snapshot,
+    unpack_snapshot,
+)
 from repro.flashsim.geometry import Geometry
 from repro.flashsim.power import (
     MLC_POWER,
@@ -86,6 +92,7 @@ __all__ = [
     "IOTrace",
     "KernelStats",
     "PackedBits",
+    "PackedSnapshot",
     "QueuedCompletion",
     "LifetimeProjection",
     "MLC_POWER",
@@ -96,6 +103,7 @@ __all__ = [
     "SLC_TIMING",
     "SLC_POWER",
     "SimClock",
+    "SnapshotStore",
     "SyncHost",
     "TABLE3_PROFILES",
     "TimingSpec",
@@ -108,11 +116,13 @@ __all__ = [
     "get_profile",
     "mask_from_indices",
     "pack_bits",
+    "pack_snapshot",
     "profile_names",
     "measure_run_energy",
     "pickled_sizes",
     "project_lifetime",
     "scaled_profile",
     "summarize_components",
+    "unpack_snapshot",
     "wear_report",
 ]

@@ -14,6 +14,7 @@ snapshot/restore cycles of a large device never re-copy the mask bytes.
 
 from __future__ import annotations
 
+import pickle
 from dataclasses import dataclass
 
 import numpy as np
@@ -26,6 +27,12 @@ class PackedBits:
     ``data`` holds ``np.packbits`` output (big-endian within each byte)
     and ``size`` the original element count, since packing pads the last
     byte.  Frozen + bytes-backed, so snapshot copies share it safely.
+
+    Under pickle protocol 5 the payload travels **out-of-band** (see
+    :meth:`__reduce_ex__`): a bitmap unpickled against external buffers
+    — e.g. views into a shared-memory snapshot segment — carries a
+    read-only ``memoryview`` as ``data``, which :meth:`unpack` and
+    equality handle identically to bytes.
     """
 
     data: bytes
@@ -37,6 +44,20 @@ class PackedBits:
             np.frombuffer(self.data, dtype=np.uint8), count=self.size
         )
         return bits.astype(bool)
+
+    def __reduce_ex__(self, protocol: int):
+        """Pickle support routing ``data`` out-of-band on protocol 5.
+
+        With a ``buffer_callback`` in play the payload is handed over as
+        a :class:`pickle.PickleBuffer` (zero copy — the snapshot packing
+        path); without one, or on older protocols, it serializes in-band
+        as bytes.  Either way reconstruction goes through the ordinary
+        constructor.
+        """
+        if protocol >= 5:
+            return (PackedBits, (pickle.PickleBuffer(self.data), self.size))
+        data = self.data if isinstance(self.data, bytes) else bytes(self.data)
+        return (PackedBits, (data, self.size))
 
 
 def pack_bits(mask: np.ndarray) -> PackedBits:

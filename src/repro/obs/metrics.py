@@ -233,6 +233,32 @@ class MetricsSnapshot:
             counters=counters, gauges=dict(self.gauges), histograms=histograms
         )
 
+    def scoped(self, prefix: str) -> "MetricsSnapshot":
+        """The snapshot restricted to instruments named under ``prefix``.
+
+        Convenience for report rendering (e.g. the campaign summary's
+        ``core.``-scoped executor table): counters, gauges and
+        histograms whose names start with ``prefix`` are kept, the rest
+        dropped.  Returns a new snapshot; this one is unchanged.
+        """
+        return MetricsSnapshot(
+            counters={
+                name: value
+                for name, value in self.counters.items()
+                if name.startswith(prefix)
+            },
+            gauges={
+                name: value
+                for name, value in self.gauges.items()
+                if name.startswith(prefix)
+            },
+            histograms={
+                name: state
+                for name, state in self.histograms.items()
+                if name.startswith(prefix)
+            },
+        )
+
     def merge(self, other: "MetricsSnapshot") -> "MetricsSnapshot":
         """Fold an independent snapshot (another cell, another worker)
         into this one: counters and histograms add, gauges keep the

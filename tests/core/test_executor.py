@@ -229,3 +229,31 @@ def test_payload_has_attribution_edges():
             ]
         }
     )
+
+
+def test_cache_tracks_payload_bytes_and_per_profile_stats(tmp_path):
+    cells = order_cells()
+
+    first = CampaignExecutor(jobs=1, cache=tmp_path / "cache")
+    first.execute(cells)
+    cache = first.cache
+    assert cache.payload_bytes > 0
+    stats = cache.profiles[PROFILE]
+    assert stats["misses"] == len(cells)
+    assert stats["hits"] == 0
+    assert stats["payload_bytes"] == cache.payload_bytes
+    # each stored entry records its own payload size on disk
+    sizes = [
+        json.loads(path.read_text())["payload_bytes"]
+        for path in (tmp_path / "cache").glob("*.json")
+    ]
+    assert len(sizes) == len(cells)
+    assert sum(sizes) == cache.payload_bytes
+
+    second = CampaignExecutor(jobs=1, cache=tmp_path / "cache")
+    second.execute(cells)
+    served = second.cache.profiles[PROFILE]
+    assert served["hits"] == len(cells)
+    assert served["misses"] == 0
+    assert served["bytes_saved"] > 0
+    assert second.cache.bytes_saved == served["bytes_saved"]

@@ -301,6 +301,55 @@ def bench_recorder(
     return {key: _entry(sec, io_count) for key, sec in best_sec.items()}
 
 
+def bench_snapshot_pack(
+    profile: str, logical_bytes: int, repeat: int
+) -> dict[str, dict[str, float]]:
+    """Snapshot distribution stats (``{profile}/snapshot_pack``).
+
+    Best-of-``repeat`` timings of the campaign executor's state-handoff
+    primitives on an enforced device: flat-buffer packing
+    (:func:`~repro.flashsim.snapshot.pack_snapshot`, what the publisher
+    pays once per state), unpack-plus-restore (what a worker pays per
+    shared-memory attach), and the legacy whole-snapshot pickle for
+    comparison.  ``packed_bytes`` vs ``pickled_bytes`` shows the size of
+    a shared segment against the per-cell pipe traffic it replaces.
+    Stat-only entry: no ``usec_per_io``, so the --baseline gate skips it.
+    """
+    import pickle
+
+    from repro.flashsim.snapshot import pack_snapshot, unpack_snapshot
+
+    device = build_device(profile, logical_bytes=logical_bytes)
+    enforce_random_state(device)
+    snapshot = device.snapshot()
+    target = build_device(profile, logical_bytes=logical_bytes)
+    pack_sec = unpack_sec = pickle_sec = float("inf")
+    packed_bytes = pickled_bytes = 0
+    for _ in range(max(repeat, 1)):
+        start = time.perf_counter()
+        packed = pack_snapshot(snapshot)
+        pack_sec = min(pack_sec, time.perf_counter() - start)
+        packed_bytes = packed.nbytes
+
+        start = time.perf_counter()
+        target.restore(unpack_snapshot(packed))
+        unpack_sec = min(unpack_sec, time.perf_counter() - start)
+
+        start = time.perf_counter()
+        blob = pickle.dumps(snapshot, pickle.HIGHEST_PROTOCOL)
+        pickle_sec = min(pickle_sec, time.perf_counter() - start)
+        pickled_bytes = len(blob)
+    return {
+        f"{profile}/snapshot_pack": {
+            "pack_usec": round(pack_sec * 1e6, 1),
+            "unpack_restore_usec": round(unpack_sec * 1e6, 1),
+            "pickle_usec": round(pickle_sec * 1e6, 1),
+            "packed_bytes": packed_bytes,
+            "pickled_bytes": pickled_bytes,
+        }
+    }
+
+
 def _enforce_speedup(
     entries: dict[str, dict[str, float]], profile: str
 ) -> float | None:
@@ -418,6 +467,10 @@ def main(argv: list[str] | None = None) -> int:
         results.update(
             bench_recorder(profile, logical, io_count, args.repeat)
         )
+        print(f"benchmarking {profile} snapshot packing ...", flush=True)
+        results.update(
+            bench_snapshot_pack(profile, logical, args.repeat)
+        )
 
     print(json.dumps(results, indent=2))
     for profile in profiles:
@@ -443,6 +496,15 @@ def main(argv: list[str] | None = None) -> int:
             print(
                 f"{profile}: trace pickle "
                 f"{results[pickle_key]['reduction']}x smaller (columnar)"
+            )
+        pack_key = f"{profile}/snapshot_pack"
+        if pack_key in results:
+            entry = results[pack_key]
+            print(
+                f"{profile}: snapshot pack {entry['pack_usec']:.0f} usec, "
+                f"restore {entry['unpack_restore_usec']:.0f} usec "
+                f"({entry['packed_bytes'] // 1024} KiB shared vs "
+                f"{entry['pickled_bytes'] // 1024} KiB pickled per cell)"
             )
         rec_off = f"{profile}/run_RW_recorder_off"
         rec_on = f"{profile}/run_RW_recorder_on"
