@@ -88,6 +88,7 @@ from repro.core.methodology import StatePool, enforce_random_state
 from repro.core.microbench import BenchContext, build_microbenchmark
 from repro.core.plan import TargetAllocator
 from repro.errors import ExperimentError, PlanError
+from repro.flashsim import analytic
 from repro.flashsim.profiles import build_device, get_profile
 from repro.flashsim.snapshot import (
     DeviceSnapshot,
@@ -259,6 +260,9 @@ def _run_cell_body(
     ``wall_usec`` (host wall-clock execution time).
     """
     registry = obs_metrics.current()
+    analytic_baseline = (
+        analytic.STATS.counters() if registry is not None else None
+    )
     wall_start = time.perf_counter()
     with obs_tracing.span(
         "cell", cat="executor", profile=cell.profile, experiment=cell.experiment
@@ -304,6 +308,7 @@ def _run_cell_body(
     if registry is not None:
         envelope["metrics"] = diff_counts(device.metrics(), before)
         registry.counter("core.executor.cells_executed").inc()
+        analytic.publish_stats(registry, analytic_baseline)
     return envelope
 
 
@@ -503,12 +508,17 @@ def _prepare_remote(task: _PrepareTask, observe: Observe) -> dict:
     registry = obs_metrics.MetricsRegistry() if observe.metrics else None
     wall_start = time.perf_counter()
     with obs_tracing.installed(tracer), obs_metrics.installed(registry):
+        analytic_baseline = (
+            analytic.STATS.counters() if registry is not None else None
+        )
         with obs_tracing.span("prepare", cat="executor", profile=task.profile):
             device = build_device(task.profile, logical_bytes=task.capacity)
             if task.enforce:
                 enforce_random_state(device, seed=task.seed)
             snapshot = device.snapshot()
             fingerprint = device.fingerprint()
+        if registry is not None:
+            analytic.publish_stats(registry, analytic_baseline)
         segment = None
         packed_bytes = 0
         if task.token is not None:

@@ -66,11 +66,14 @@ def enforce_random_state(
 
     The write stream is RNG-driven, not response-driven, so the whole
     (size, lba) sequence is pre-drawn into columns and handed to the
-    closed-form write kernel (:func:`repro.flashsim.analytic.write_window`),
-    which simulates maximal GC-free windows in one vectorized pass each
-    and declines — back to the per-IO ``submit`` path below — for every
-    IO at which garbage collection could fire.  Devices the kernel does
-    not cover run the reference loop for the entire stream.
+    closed-form write kernel (:func:`repro.flashsim.analytic.write_window`):
+    GC-free prefixes evaluate in one vectorized pass, and once the free
+    pool reaches steady state the GC-epoch kernel absorbs the rest of
+    the stream — closed-form appends between collections, the real
+    relocation step at each watermark — so page-map and block-map
+    enforcement runs end-to-end analytic.  Devices the kernels do not
+    cover (hybrid/FAST families, caches, wear levelling, fault
+    injection) fall back to the per-IO ``submit`` path below.
     """
     if coverage <= 0:
         raise ValueError("coverage must be positive")
@@ -215,6 +218,7 @@ class StatePool:
         self.misses += 1
         if registry is not None:
             registry.counter("core.state_pool.misses").inc()
+        baseline = analytic.STATS.counters() if registry is not None else None
         with obs_tracing.span(
             "enforce", cat="methodology", device=device.name, method=method
         ):
@@ -234,6 +238,8 @@ class StatePool:
                 snapshot=device.snapshot(),
                 fingerprint=device.fingerprint(),
             )
+        if registry is not None:
+            analytic.publish_stats(registry, baseline)
         self._states[key] = state
         if self.max_states is not None:
             while len(self._states) > self.max_states:

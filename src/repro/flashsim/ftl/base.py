@@ -182,6 +182,13 @@ class BaseFTL(ABC):
         lpages are strictly increasing and its tokens non-negative (the
         controller's always are), letting implementations skip
         distinctness/bounds/validity scans.
+
+        This behavioural contract is also what the closed-form kernels
+        in :mod:`repro.flashsim.analytic` rely on: they either replay
+        an FTL's reference loop exactly (page-map GC epochs, block-map
+        windows) or decline with state untouched, so any FTL whose
+        write path diverges from its own scalar loop breaks the
+        kernels' bit-identity proof, not just this method's contract.
         """
         self.write_pages(
             list(zip((int(p) for p in lpages), (int(t) for t in tokens))), cost

@@ -183,7 +183,17 @@ class BlockMapFTL(BaseFTL):
     # ------------------------------------------------------------------
 
     def write_page(self, lpage: int, token: int, cost: CostAccumulator) -> None:
-        """See :meth:`BaseFTL.write_page`: append, gap-fill or full copy."""
+        """See :meth:`BaseFTL.write_page`: append, gap-fill or full copy.
+
+        The analytic block-map kernel
+        (:func:`repro.flashsim.analytic._blockmap_write_window`) takes
+        the in-order append arm of this method in closed form — a
+        page-aligned IO continuing ``rep.next_offset`` mints tokens,
+        programs one run and bumps the offset without entering here —
+        and replays the controller path (which lands in this method)
+        for every other shape.  Changes to the append/finalise rules
+        here must be mirrored there to preserve bit-identity.
+        """
         self._check_lpage(lpage)
         if token <= FILLER_TOKEN:
             raise FTLError(f"host tokens must be > {FILLER_TOKEN}, got {token}")

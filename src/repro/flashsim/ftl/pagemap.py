@@ -296,6 +296,14 @@ class PageMapFTL(BaseFTL):
         free pool and erase counters cannot change during a pure
         append), and decays to single scalar writes at the points where
         GC or wear levelling would actually fire.
+
+        The GC-epoch kernel
+        (:func:`repro.flashsim.analytic._pagemap_epoch_window`) mirrors
+        this same slow-loop structure over a whole window's flattened
+        page stream — closed-form ``_append_run`` chunks between
+        collections, the real :meth:`write_page` at each free-pool
+        watermark — so changes to the chunking or the GC trigger here
+        must be reflected there to preserve bit-identity.
         """
         if not self.batch_enabled:
             for lpage, token in zip(lpages, tokens):

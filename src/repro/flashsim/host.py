@@ -145,6 +145,10 @@ class AsyncHost:
         depth = max(1, min(int(requested), self.device.queue_depth))
         count = len(program)
         trace = IOTrace(capacity=count)
+        if analytic.run_program_queued(
+            self.device, program, trace, start_at, self.os_overhead_usec, depth
+        ):
+            return trace
         lbas = program.lbas.tolist()
         sizes = program.sizes.tolist()
         writes = program.writes.tolist()

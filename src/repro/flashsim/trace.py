@@ -325,17 +325,24 @@ class IOTrace:
         *,
         page_reads: np.ndarray | None = None,
         page_programs: np.ndarray | None = None,
+        copy_reads: np.ndarray | None = None,
+        copy_programs: np.ndarray | None = None,
+        block_erases: np.ndarray | None = None,
         bytes_transferred: np.ndarray | None = None,
         map_misses: np.ndarray | None = None,
+        notes: "dict[int, list[str]] | None" = None,
     ) -> None:
         """Record a contiguous run of same-mode IOs from column arrays.
 
         The bulk counterpart of :meth:`record_at` used by the analytic
         run kernels (:mod:`repro.flashsim.analytic`): rows
         ``row0 .. row0+n-1`` are filled in one vectorized store per
-        column, with ``index = row``.  Omitted cost columns stay zero
-        (closed-form windows perform no copies or erases and carry no
-        notes); each row must be recorded exactly once, like
+        column, with ``index = row``.  Omitted cost columns stay zero;
+        GC-epoch windows pass the reclamation columns
+        (``copy_reads``/``copy_programs``/``block_erases``) and a sparse
+        ``notes`` mapping of *relative* row to that IO's provenance notes
+        (e.g. ``["gc"]`` per collection), stored exactly as the per-IO
+        path would have.  Each row must be recorded exactly once, like
         :meth:`record_at`.
         """
         n = int(lbas.size)
@@ -361,10 +368,20 @@ class IOTrace:
             self._page_reads[rows] = page_reads
         if page_programs is not None:
             self._page_programs[rows] = page_programs
+        if copy_reads is not None:
+            self._copy_reads[rows] = copy_reads
+        if copy_programs is not None:
+            self._copy_programs[rows] = copy_programs
+        if block_erases is not None:
+            self._block_erases[rows] = block_erases
         if bytes_transferred is not None:
             self._bytes_transferred[rows] = bytes_transferred
         if map_misses is not None:
             self._map_misses[rows] = map_misses
+        if notes:
+            for rel, row_notes in notes.items():
+                if row_notes:
+                    self._notes[row0 + rel] = row_notes
         self._response_cache = None
 
     def _record_attr(self, row: int, attribution: tuple) -> None:

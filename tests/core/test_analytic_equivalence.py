@@ -33,8 +33,9 @@ from repro.units import KIB, MIB
 
 from ..conftest import make_device
 
-#: one profile per kernel disposition: full coverage (page-map), full
-#: decline (hybrid), full decline (block-map)
+#: one profile per kernel disposition: full coverage (page-map, GC
+#: epochs included), full decline (hybrid + cache), full coverage
+#: (block-map appends with reference replay at merge edges)
 PROFILES = ("ideal_pagemap", "memoright", "kingston_dti")
 
 
@@ -108,9 +109,9 @@ def test_engine_baselines_analytic_reference_identical(kind):
 
 
 def test_gc_crossing_run_analytic_reference_identical():
-    """A run long enough to trigger GC: windows end exactly at each
-    collection, the fallback replays it, and the final state is
-    bit-identical — with the collection actually happening."""
+    """A run long enough to trigger GC: the GC-epoch kernel absorbs the
+    steady-state tail (no per-IO fallback), every collection still
+    happens, and the final state is bit-identical."""
     kernel_dev = make_device(ftl_kind="pagemap")
     reference_dev = make_device(ftl_kind="pagemap")
     kernel_report = enforce_random_state(kernel_dev, seed=3, coverage=3.0)
@@ -120,8 +121,155 @@ def test_gc_crossing_run_analytic_reference_identical():
     assert kernel_dev.fingerprint() == reference_dev.fingerprint()
     assert kernel_dev.metrics() == reference_dev.metrics()
     assert kernel_dev.ftl.gc_collections > 0
-    assert analytic.STATS.declines.get("write:gc-headroom", 0) > 0
+    assert analytic.STATS.epoch_windows > 0
+    assert analytic.STATS.epoch_collections == kernel_dev.ftl.gc_collections
+    assert "write:gc-headroom" not in analytic.STATS.declines
     kernel_dev.check_invariants()
+
+
+@pytest.mark.parametrize(
+    ("logical_mib", "spare_blocks"),
+    [(2, 7), (4, 8), (4, 24), (8, 12)],
+    ids=["2MiB-tight", "4MiB-tight", "4MiB-roomy", "8MiB"],
+)
+def test_gc_epoch_across_capacities_and_overprovisioning(
+    logical_mib, spare_blocks
+):
+    """The GC-epoch kernel must stay bit-identical as capacity and
+    over-provisioning vary — the epoch boundaries (free-pool watermark,
+    victim choice, relocation volume) all shift with the spare-block
+    budget.  Background GC is disabled so the spare pool can be squeezed
+    below the idle-target minimum: every collection is foreground."""
+    from repro.flashsim.ftl.pagemap import PageMapConfig
+    from repro.flashsim.profiles import scaled_profile
+
+    profile = scaled_profile(
+        "ideal_pagemap",
+        name=f"pagemap-{logical_mib}m-{spare_blocks}s",
+        spare_blocks=spare_blocks,
+        pagemap=PageMapConfig(gc_low_blocks=4, bg_enabled=False),
+    )
+    kernel_dev = profile.build(logical_mib * MIB)
+    reference_dev = profile.build(logical_mib * MIB)
+    kernel_report = enforce_random_state(kernel_dev, seed=11, coverage=2.5)
+    epoch_windows = analytic.STATS.epoch_windows
+    with kernels_disabled():
+        reference_report = enforce_random_state(
+            reference_dev, seed=11, coverage=2.5
+        )
+    assert _report_tuple(kernel_report) == _report_tuple(reference_report)
+    assert kernel_dev.fingerprint() == reference_dev.fingerprint()
+    assert kernel_dev.metrics() == reference_dev.metrics()
+    assert kernel_dev.ftl.gc_collections > 0
+    assert epoch_windows > 0
+    kernel_dev.check_invariants()
+
+
+def test_write_window_declines_wear_levelling_exactly():
+    """A wear-threshold config must keep every write window on the
+    per-IO reference path (wear moves interleave with host appends in
+    ways the kernel does not model) — and the fallback must still be
+    bit-identical."""
+    from repro.flashsim.ftl.pagemap import PageMapConfig
+    from repro.flashsim.profiles import scaled_profile
+
+    profile = scaled_profile(
+        "ideal_pagemap",
+        name="pagemap-wear",
+        pagemap=PageMapConfig(
+            gc_low_blocks=4,
+            bg_enabled=True,
+            bg_target_blocks=32,
+            wear_threshold=8,
+        ),
+    )
+    kernel_dev = profile.build(4 * MIB)
+    reference_dev = profile.build(4 * MIB)
+    kernel_report = enforce_random_state(kernel_dev, seed=3, coverage=2.0)
+    assert analytic.STATS.declines.get("write:wear-levelling", 0) > 0
+    assert analytic.STATS.write_windows == 0
+    with kernels_disabled():
+        reference_report = enforce_random_state(
+            reference_dev, seed=3, coverage=2.0
+        )
+    assert _report_tuple(kernel_report) == _report_tuple(reference_report)
+    assert kernel_dev.fingerprint() == reference_dev.fingerprint()
+    assert kernel_dev.metrics() == reference_dev.metrics()
+
+
+@pytest.mark.parametrize("kind", ("SR", "RR", "SW", "RW"))
+def test_engine_baselines_blockmap_analytic_reference_identical(kind):
+    """Block-map family through the engine: the kernel covers aligned
+    appends in closed form and replays merge-heavy IOs through the
+    reference controller — stats, CSV and state must agree."""
+    spec = baselines(io_size=16 * KIB, io_count=64)[kind]
+    kernel_engine = Engine(build_device("kingston_dti", logical_bytes=4 * MIB))
+    reference_engine = Engine(build_device("kingston_dti", logical_bytes=4 * MIB))
+    kernel_run = kernel_engine.run(spec)
+    with kernels_disabled():
+        reference_run = reference_engine.run(spec)
+    assert kernel_run.stats == reference_run.stats
+    assert kernel_run.trace.to_csv() == reference_run.trace.to_csv()
+    assert kernel_engine.device.fingerprint() == reference_engine.device.fingerprint()
+    assert kernel_engine.device.metrics() == reference_engine.device.metrics()
+
+
+@pytest.mark.parametrize("profile", ("ideal_pagemap", "kingston_dti"))
+@pytest.mark.parametrize("queue_depth", (4, 32))
+def test_queued_reads_analytic_reference_identical(profile, queue_depth):
+    """AsyncHost read programs at depth > 1: the queued completion
+    kernel replays the submit/pop event schedule in closed form —
+    stats, channel horizons, queue occupancy counters and the trace
+    must be bit-identical to per-IO timeline stepping."""
+    spec = PatternSpec(
+        mode=Mode.READ,
+        location=LocationKind.RANDOM,
+        io_size=16 * KIB,
+        io_count=128,
+        target_size=2 * MIB,
+        timing=TimingKind.CONSECUTIVE,
+        queue_depth=queue_depth,
+    )
+    kernel_engine = Engine(build_device(profile, logical_bytes=4 * MIB))
+    reference_engine = Engine(build_device(profile, logical_bytes=4 * MIB))
+    enforce_random_state(kernel_engine.device, seed=7)
+    with kernels_disabled():
+        enforce_random_state(reference_engine.device, seed=7)
+    assert kernel_engine.device.fingerprint() == reference_engine.device.fingerprint()
+    analytic.STATS.reset()
+    kernel_run = kernel_engine.run(spec)
+    assert analytic.STATS.queued_windows >= 1
+    assert analytic.STATS.queued_ios == spec.io_count
+    with kernels_disabled():
+        reference_run = reference_engine.run(spec)
+    assert kernel_run.stats == reference_run.stats
+    assert kernel_run.trace.to_csv() == reference_run.trace.to_csv()
+    assert kernel_engine.device.fingerprint() == reference_engine.device.fingerprint()
+    assert kernel_engine.device.metrics() == reference_engine.device.metrics()
+
+
+def test_queued_writes_decline_but_match_reference():
+    """Depth-d write programs stay on the reference loop (writes mutate
+    FTL state in submission order, which the event-schedule kernel does
+    not model) — with identical results."""
+    spec = PatternSpec(
+        mode=Mode.WRITE,
+        location=LocationKind.RANDOM,
+        io_size=16 * KIB,
+        io_count=64,
+        target_size=2 * MIB,
+        timing=TimingKind.CONSECUTIVE,
+        queue_depth=8,
+    )
+    kernel_engine = Engine(build_device("ideal_pagemap", logical_bytes=4 * MIB))
+    reference_engine = Engine(build_device("ideal_pagemap", logical_bytes=4 * MIB))
+    kernel_run = kernel_engine.run(spec)
+    assert analytic.STATS.declines.get("queued:writes", 0) > 0
+    with kernels_disabled():
+        reference_run = reference_engine.run(spec)
+    assert kernel_run.stats == reference_run.stats
+    assert kernel_run.trace.to_csv() == reference_run.trace.to_csv()
+    assert kernel_engine.device.fingerprint() == reference_engine.device.fingerprint()
 
 
 # ----------------------------------------------------------------------
@@ -174,6 +322,46 @@ def test_read_window_declines_background_pending():
     done, _ = analytic.read_window(device, lbas, sizes, device.busy_until)
     assert done == 0
     assert analytic.STATS.declines == {"read:background-pending": 1}
+
+
+def test_queued_kernel_declines_background_pending():
+    """The queued kernel must stand aside at background-unit
+    boundaries too: pending GC turns every queued read into a state
+    transition (interference + credit-funded background units)."""
+    from repro.core.generator import PatternGenerator
+    from repro.flashsim.host import AsyncHost
+
+    kernel_dev = make_device(ftl_kind="pagemap", bg=True)
+    reference_dev = make_device(ftl_kind="pagemap", bg=True)
+    page = kernel_dev.geometry.page_size
+    cap = kernel_dev.geometry.logical_bytes
+    for device in (kernel_dev, reference_dev):
+        now = device.busy_until
+        for i in range(2 * cap // page):
+            now = device.write((i * page) % cap, page, now).completed_at
+    assert kernel_dev.ftl.background_work_pending()
+    spec = PatternSpec(
+        mode=Mode.READ,
+        location=LocationKind.SEQUENTIAL,
+        io_size=page,
+        io_count=32,
+        target_size=cap,
+        timing=TimingKind.CONSECUTIVE,
+        queue_depth=4,
+    )
+    program = PatternGenerator(spec).program()
+    analytic.STATS.reset()
+    kernel_trace = AsyncHost(kernel_dev).run_program(
+        program, start_at=kernel_dev.busy_until
+    )
+    assert analytic.STATS.queued_windows == 0
+    assert analytic.STATS.declines.get("queued:background-pending", 0) == 1
+    with kernels_disabled():
+        reference_trace = AsyncHost(reference_dev).run_program(
+            program, start_at=reference_dev.busy_until
+        )
+    assert kernel_trace.to_csv() == reference_trace.to_csv()
+    assert kernel_dev.fingerprint() == reference_dev.fingerprint()
 
 
 def test_read_window_truncates_before_verification_failure():

@@ -12,6 +12,11 @@ two phases that dominate real campaign time:
   through the engine's queued host; each entry also carries the
   *simulated* ``device_iops``, which should scale with depth up to the
   profile's channel count.
+* **run_RW_gc / run_RR_qd32_analytic**: the closed-form kernel
+  workloads — GC-crossing random writes on an enforced device (the
+  GC-epoch kernel) and a depth-32 random-read run (the queued
+  completion kernel), each with a ``/fallback`` twin forced through
+  the hosts' per-IO reference loops.
 
 Each workload is timed twice per profile: once with the batch paths on
 (the default) and once forced through the scalar per-page reference
@@ -27,9 +32,9 @@ Usage::
 
 With ``--baseline``, the run fails (exit 1) if any shared workload's
 ``usec_per_io`` regresses more than 2x against the committed numbers,
-or if a profile's enforce *speedup* (the scalar/batch ratio, which is
-largely machine-independent) drops below half the committed ratio —
-the CI perf-smoke gate.
+or if a profile's enforce or GC-epoch *speedup* (the slow-path/fast-path
+ratio, which is largely machine-independent) drops below half the
+committed ratio — the CI perf-smoke gate.
 """
 
 from __future__ import annotations
@@ -43,6 +48,7 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.core.engine import Engine  # noqa: E402
+from repro.flashsim import analytic  # noqa: E402
 from repro.core.methodology import enforce_random_state  # noqa: E402
 from repro.core.patterns import (  # noqa: E402
     LocationKind,
@@ -52,10 +58,12 @@ from repro.core.patterns import (  # noqa: E402
     baselines,
 )
 from repro.core.runner import execute  # noqa: E402
+from repro.flashsim.ftl.pagemap import PageMapConfig  # noqa: E402
 from repro.flashsim.profiles import (  # noqa: E402
     build_device,
     get_profile,
     profile_names,
+    scaled_profile,
 )
 from repro.flashsim.recorder import FlightRecorder  # noqa: E402
 from repro.flashsim.trace import pickled_sizes  # noqa: E402
@@ -68,11 +76,17 @@ PATTERN_ORDER = ("SR", "RR", "SW", "RW")
 #: regression gate used by --baseline (CI perf smoke)
 REGRESSION_FACTOR = 2.0
 
-#: fraction of the committed enforce speedup (scalar/batch ratio) a
-#: gated run must retain.  Unlike raw usec_per_io the ratio cancels out
-#: machine speed, so a drop below this almost always means the batch or
-#: analytic fast path stopped engaging, not a slow runner.
+#: fraction of the committed speedup (slow-path over fast-path
+#: usec/io) a gated run must retain.  Unlike raw usec_per_io the ratio
+#: cancels out machine speed, so a drop below this almost always means
+#: the batch or analytic fast path stopped engaging, not a slow runner.
 SPEEDUP_RETENTION = 0.5
+
+#: speedup-gated workloads: (fast key stem, slow-twin suffix).  The
+#: enforce ratio pins the vectorized write kernel; the run_RW_gc ratio
+#: pins the GC-epoch kernel (its fallback twin runs the per-IO
+#: reference loop with the batch controller paths still on).
+SPEEDUP_GATES = (("enforce", "scalar"), ("run_RW_gc", "fallback"))
 
 DEFAULT_PROFILES = ("ideal_pagemap", "memoright", "kingston_dti")
 
@@ -268,6 +282,83 @@ def bench_queue_depths(
     return results
 
 
+def bench_gc_epochs(
+    profile: str, logical_bytes: int, io_count: int, repeat: int
+) -> dict[str, dict[str, float]]:
+    """Best-of-``repeat`` timings of the closed-form kernel workloads.
+
+    Both workloads start from an *enforced* device, whose free pool
+    sits at the GC watermark.  ``run_RW_gc`` issues random 16 KiB
+    writes re-covering the device, so the stream crosses a collection
+    every few IOs and the GC-epoch kernel carries the whole run as
+    closed-form appends between real relocation steps.
+    ``run_RR_qd32_analytic`` drives the same enforced state with
+    depth-32 random reads through the queued completion kernel's
+    vectorized event schedule.
+
+    Each workload is timed twice: kernels on (plain key) and with the
+    analytic layer switched off (``/fallback`` suffix), which sends the
+    hosts through their per-IO reference loops.  The batch controller
+    paths stay on in both passes, so the ratio isolates the closed-form
+    kernels rather than the older batch machinery, and enforcement
+    itself always runs with kernels on — both passes measure the same
+    device state bit-identically.
+
+    Page-map profiles are rebuilt as a tight-spare, foreground-GC
+    variant of the same timing profile: the stock spare area plus
+    background reclamation would take tens of MiB of writes before the
+    first collection, so on the stock device ``run_RW_gc`` would mostly
+    time the GC-free fill.  The tight variant reaches the watermark
+    during enforcement, so the timed run sits in GC steady state from
+    its first window.
+    """
+    if get_profile(profile).ftl_kind == "pagemap":
+        variant = scaled_profile(
+            profile,
+            name=f"{profile}-gc-bench",
+            spare_blocks=8,
+            pagemap=PageMapConfig(gc_low_blocks=4, bg_enabled=False),
+        )
+        build = lambda: variant.build(logical_bytes)  # noqa: E731
+    else:
+        build = lambda: build_device(  # noqa: E731
+            profile, logical_bytes=logical_bytes
+        )
+    write_spec = baselines(
+        io_size=16 * KIB,
+        io_count=io_count,
+        random_target_size=logical_bytes,
+    )["RW"]
+    read_spec = baselines(
+        io_size=16 * KIB,
+        io_count=io_count,
+        random_target_size=logical_bytes,
+    )["RR"].with_(queue_depth=32)
+    workloads = (
+        ("run_RW_gc", write_spec),
+        ("run_RR_qd32_analytic", read_spec),
+    )
+    best_sec: dict[str, float] = {}
+    for _ in range(max(repeat, 1)):
+        for enabled in (True, False):
+            suffix = "" if enabled else "/fallback"
+            for name, spec in workloads:
+                device = build()
+                enforce_random_state(device)
+                engine = Engine(device)
+                saved = analytic.ENABLED
+                analytic.ENABLED = enabled
+                try:
+                    start = time.perf_counter()
+                    engine.run(spec)
+                    elapsed = time.perf_counter() - start
+                finally:
+                    analytic.ENABLED = saved
+                key = f"{profile}/{name}{suffix}"
+                best_sec[key] = min(best_sec.get(key, elapsed), elapsed)
+    return {key: _entry(sec, io_count) for key, sec in best_sec.items()}
+
+
 def bench_recorder(
     profile: str, logical_bytes: int, io_count: int, repeat: int
 ) -> dict[str, dict[str, float]]:
@@ -350,16 +441,19 @@ def bench_snapshot_pack(
     }
 
 
-def _enforce_speedup(
-    entries: dict[str, dict[str, float]], profile: str
+def _workload_speedup(
+    entries: dict[str, dict[str, float]],
+    profile: str,
+    name: str,
+    slow_suffix: str,
 ) -> float | None:
-    """Enforce speedup (scalar over batch usec/io) for one profile, or
-    None when either side is absent (e.g. --batch-only runs)."""
-    batch = entries.get(f"{profile}/enforce")
-    scalar = entries.get(f"{profile}/enforce/scalar")
-    if not batch or not scalar:
+    """Speedup (slow-twin over fast usec/io) for one workload, or None
+    when either side is absent (e.g. --batch-only runs)."""
+    fast = entries.get(f"{profile}/{name}")
+    slow = entries.get(f"{profile}/{name}/{slow_suffix}")
+    if not fast or not slow:
         return None
-    return scalar["usec_per_io"] / max(batch["usec_per_io"], 1e-9)
+    return slow["usec_per_io"] / max(fast["usec_per_io"], 1e-9)
 
 
 def check_baseline(
@@ -379,19 +473,20 @@ def check_baseline(
                 f"{workload}: {entry['usec_per_io']} usec/io vs "
                 f"baseline {old['usec_per_io']} (> {REGRESSION_FACTOR}x)"
             )
-    # the speedup gate: machine-independent, so far tighter than the
-    # absolute-time factor — it trips when the fast path stops engaging
-    profiles = {w.rsplit("/", 1)[0] for w in results if w.endswith("/enforce")}
+    # the speedup gates: machine-independent, so far tighter than the
+    # absolute-time factor — they trip when a fast path stops engaging
+    profiles = {w.split("/", 1)[0] for w in results if "/" in w}
     for profile in sorted(profiles):
-        new_ratio = _enforce_speedup(results, profile)
-        old_ratio = _enforce_speedup(baseline, profile)
-        if new_ratio is None or old_ratio is None:
-            continue
-        if new_ratio < SPEEDUP_RETENTION * old_ratio:
-            regressions.append(
-                f"{profile}: enforce speedup {new_ratio:.2f}x vs baseline "
-                f"{old_ratio:.2f}x (< {SPEEDUP_RETENTION}x retention)"
-            )
+        for name, slow_suffix in SPEEDUP_GATES:
+            new_ratio = _workload_speedup(results, profile, name, slow_suffix)
+            old_ratio = _workload_speedup(baseline, profile, name, slow_suffix)
+            if new_ratio is None or old_ratio is None:
+                continue
+            if new_ratio < SPEEDUP_RETENTION * old_ratio:
+                regressions.append(
+                    f"{profile}: {name} speedup {new_ratio:.2f}x vs baseline "
+                    f"{old_ratio:.2f}x (< {SPEEDUP_RETENTION}x retention)"
+                )
     return regressions
 
 
@@ -463,6 +558,10 @@ def main(argv: list[str] | None = None) -> int:
         results.update(
             bench_queue_depths(profile, logical, io_count, args.repeat)
         )
+        print(f"benchmarking {profile} GC epochs ...", flush=True)
+        results.update(
+            bench_gc_epochs(profile, logical, io_count, args.repeat)
+        )
         print(f"benchmarking {profile} flight recorder ...", flush=True)
         results.update(
             bench_recorder(profile, logical, io_count, args.repeat)
@@ -474,14 +573,16 @@ def main(argv: list[str] | None = None) -> int:
 
     print(json.dumps(results, indent=2))
     for profile in profiles:
-        batch_key = f"{profile}/enforce"
-        scalar_key = f"{profile}/enforce/scalar"
-        if batch_key in results and scalar_key in results:
-            speedup = (
-                results[scalar_key]["usec_per_io"]
-                / max(results[batch_key]["usec_per_io"], 1e-9)
-            )
-            print(f"{profile}: enforce speedup {speedup:.2f}x (scalar/batch)")
+        for name, slow_suffix in (
+            *SPEEDUP_GATES,
+            ("run_RR_qd32_analytic", "fallback"),
+        ):
+            speedup = _workload_speedup(results, profile, name, slow_suffix)
+            if speedup is not None:
+                print(
+                    f"{profile}: {name} speedup {speedup:.2f}x "
+                    f"({slow_suffix}/fast)"
+                )
         for name in (*(f"run_{p}" for p in PATTERN_ORDER), "run_mix", "run_parallel"):
             plain = f"{profile}/{name}"
             legacy = f"{profile}/{name}/object"
